@@ -1,0 +1,167 @@
+// Benchmarks regenerating the experiment suite (one per experiment of
+// DESIGN.md's index, E1–E11, plus the ablations). Each iteration runs the
+// full experiment and fails the benchmark if the paper's qualitative
+// claim does not hold, so `go test -bench=.` both measures and verifies.
+// Human-readable tables are produced by cmd/axml-experiments.
+package axml_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"axml"
+	"axml/internal/bench"
+	"axml/internal/workload"
+)
+
+func runExperiment(b *testing.B, fn func(w io.Writer) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Reduce(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error {
+		return bench.E1Reduce(w, []int{100, 400, 1600})
+	})
+}
+
+func BenchmarkE2Confluence(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error { return bench.E2Confluence(w, 4) })
+}
+
+func BenchmarkE3Snapshot(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error {
+		return bench.E3Snapshot(w, []int{8, 32, 128})
+	})
+}
+
+func BenchmarkE4TransitiveClosure(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error {
+		return bench.E4TransitiveClosure(w, []int{6, 10})
+	})
+}
+
+func BenchmarkE5InfiniteGrowth(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error {
+		return bench.E5InfiniteGrowth(w, []int{4, 16, 64})
+	})
+}
+
+func BenchmarkE6Termination(b *testing.B) {
+	runExperiment(b, bench.E6Termination)
+}
+
+func BenchmarkE7Lazy(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error { return bench.E7Lazy(w, []int{8, 32}) })
+}
+
+func BenchmarkE8PathTranslation(b *testing.B) {
+	runExperiment(b, bench.E8PathTranslation)
+}
+
+func BenchmarkE9Turing(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error { return bench.E9Turing(w, []int{1, 3}) })
+}
+
+func BenchmarkE10FireOnce(b *testing.B) {
+	runExperiment(b, bench.E10FireOnce)
+}
+
+func BenchmarkE11Peers(b *testing.B) {
+	runExperiment(b, func(w io.Writer) error { return bench.E11Peers(w, []int{2, 4}) })
+}
+
+func BenchmarkAblationReduceEvery(b *testing.B) {
+	runExperiment(b, bench.AblationReduceEvery)
+}
+
+func BenchmarkAblationSchedulers(b *testing.B) {
+	runExperiment(b, bench.AblationSchedulers)
+}
+
+func BenchmarkAblationMinimize(b *testing.B) {
+	runExperiment(b, bench.AblationMinimize)
+}
+
+// Micro-benchmarks for the core primitives behind the experiments.
+
+func BenchmarkMicroSubsumption(b *testing.B) {
+	t1 := workload.RandomTree(rand.New(rand.NewSource(1)), workload.TreeConfig{Nodes: 1000, Redundancy: 0.4})
+	t2 := t1.Copy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !axml.Subsumed(t1, t2) {
+			b.Fatal("copy not subsumed")
+		}
+	}
+}
+
+func BenchmarkMicroReduce(b *testing.B) {
+	t1 := workload.RandomTree(rand.New(rand.NewSource(1)), workload.TreeConfig{Nodes: 1000, Redundancy: 0.6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axml.Reduce(t1)
+	}
+}
+
+func BenchmarkMicroCanonicalHash(b *testing.B) {
+	t1 := workload.RandomTree(rand.New(rand.NewSource(1)), workload.TreeConfig{Nodes: 1000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1.CanonicalHash()
+	}
+}
+
+func BenchmarkMicroPatternMatch(b *testing.B) {
+	q := axml.MustParseQuery(`pair{$x,$y} :- d/r{t{a{$x},b{$z}}}, d/r{t{a{$z},b{$y}}}`)
+	root := axml.NewLabel("r")
+	for i := 0; i < 64; i++ {
+		root.Children = append(root.Children, axml.MustParseDocument(
+			`t{a{"n`+string(rune('0'+i%10))+`"},b{"n`+string(rune('0'+(i+1)%10))+`"}}`))
+	}
+	docs := axml.Docs{"d": root}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := axml.Snapshot(q, docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSystemRun(b *testing.B) {
+	src := `
+doc  d0 = r{t{a{1},b{2}},t{a{2},b{3}},t{a{3},b{4}},t{a{4},b{5}}}
+doc  d1 = r{!g,!f}
+func g = t{a{$x},b{$y}} :- d0/r{t{a{$x},b{$y}}}
+func f = t{a{$x},b{$y}} :- d1/r{t{a{$x},b{$z}}}, d1/r{t{a{$z},b{$y}}}
+`
+	base := axml.MustParseSystem(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Copy()
+		if res := s.Run(axml.RunOptions{}); !res.Terminated {
+			b.Fatal("did not terminate")
+		}
+	}
+}
+
+func BenchmarkMicroRegularBuild(b *testing.B) {
+	src := `
+doc  d0 = r{t{a{1},b{2}},t{a{2},b{3}},t{a{3},b{4}}}
+doc  d1 = r{!g,!f}
+func g = t{a{$x},b{$y}} :- d0/r{t{a{$x},b{$y}}}
+func f = t{a{$x},b{$y}} :- d1/r{t{a{$x},b{$z}}}, d1/r{t{a{$z},b{$y}}}
+`
+	base := axml.MustParseSystem(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := axml.BuildRegular(base, axml.RegularBuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

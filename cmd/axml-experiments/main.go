@@ -1,0 +1,64 @@
+// Command axml-experiments regenerates every experiment table of
+// EXPERIMENTS.md (E1–E11 plus the ablations). Each table checks its
+// paper claim and the command exits non-zero if any shape fails to hold.
+//
+// Usage:
+//
+//	axml-experiments            # run everything
+//	axml-experiments -only E7   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"axml/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E11, ablations)")
+	flag.Parse()
+
+	var err error
+	switch *only {
+	case "":
+		err = bench.RunAll(os.Stdout)
+	case "E1":
+		err = bench.E1Reduce(os.Stdout, []int{100, 400, 1600, 6400})
+	case "E2":
+		err = bench.E2Confluence(os.Stdout, 6)
+	case "E3":
+		err = bench.E3Snapshot(os.Stdout, []int{8, 32, 128, 512})
+	case "E4":
+		err = bench.E4TransitiveClosure(os.Stdout, []int{6, 10, 14})
+	case "E5":
+		err = bench.E5InfiniteGrowth(os.Stdout, []int{4, 16, 64})
+	case "E6":
+		err = bench.E6Termination(os.Stdout)
+	case "E7":
+		err = bench.E7Lazy(os.Stdout, []int{8, 32, 64})
+	case "E8":
+		err = bench.E8PathTranslation(os.Stdout)
+	case "E9":
+		err = bench.E9Turing(os.Stdout, []int{1, 3, 5})
+	case "E10":
+		err = bench.E10FireOnce(os.Stdout)
+	case "E11":
+		err = bench.E11Peers(os.Stdout, []int{2, 4, 6})
+	case "ablations":
+		if err = bench.AblationReduceEvery(os.Stdout); err == nil {
+			err = bench.AblationSchedulers(os.Stdout)
+		}
+		if err == nil {
+			err = bench.AblationMinimize(os.Stdout)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		os.Exit(1)
+	}
+}

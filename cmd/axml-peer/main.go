@@ -1,0 +1,85 @@
+// Command axml-peer serves a system file as an AXML peer over HTTP: its
+// services become Web services other peers can call, its documents are
+// fetchable, and a coordinator can drive it toward a distributed fixpoint
+// (endpoints under /axml/, see internal/peer).
+//
+// Remote services used by the local documents are declared with -remote:
+//
+//	axml-peer -listen :8080 -system portal.axml \
+//	    -remote GetRating=http://ratings.example:8081
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"axml/internal/core"
+	"axml/internal/peer"
+	"axml/internal/syntax"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	systemFile := flag.String("system", "", "system file to serve")
+	name := flag.String("name", "peer", "peer name for logs")
+	var remotes remoteFlags
+	flag.Var(&remotes, "remote", "remote service binding NAME=URL (repeatable)")
+	flag.Parse()
+
+	if *systemFile == "" {
+		fmt.Fprintln(os.Stderr, "axml-peer: -system is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*systemFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Build without the final validation: remote bindings complete the
+	// service set first.
+	parsed, err := syntax.ParseSystem(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.NewSystem()
+	for _, r := range remotes {
+		if err := sys.AddService(&peer.RemoteService{Name: r.name, URL: r.url}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, q := range parsed.Funcs {
+		if err := sys.AddQuery(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, d := range parsed.Docs {
+		if err := sys.AddDocument(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	p := peer.New(*name, sys)
+	log.Printf("axml-peer %s serving %s on %s (docs: %v, services: %v)",
+		*name, *systemFile, *listen, sys.DocNames(), sys.FuncNames())
+	log.Fatal(http.ListenAndServe(*listen, p.Handler()))
+}
+
+type remoteBinding struct{ name, url string }
+
+type remoteFlags []remoteBinding
+
+func (r *remoteFlags) String() string { return fmt.Sprintf("%v", []remoteBinding(*r)) }
+
+func (r *remoteFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=URL, got %q", v)
+	}
+	*r = append(*r, remoteBinding{name: name, url: url})
+	return nil
+}

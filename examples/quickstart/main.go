@@ -1,0 +1,76 @@
+// Quickstart: the paper's jazz directory (Section 2.1) end to end.
+//
+// A document mixes extensional data (ratings given in place) with
+// intensional data (embedded calls to GetRating and FreeMusicDB). We run
+// a fair rewriting to the fixpoint and then query the enriched directory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"axml"
+)
+
+func main() {
+	// The directory document, in the paper's compact syntax: labels are
+	// bare, values are quoted, calls carry a '!'.
+	directory := axml.MustParseDocument(`
+directory{
+  cd{title{"L'amour"},        singer{"Carla Bruni"},    rating{"***"}},
+  cd{title{"Body and Soul"},  singer{"Billie Holiday"}, !GetRating},
+  cd{title{"Where or When"},  singer{"Peggy Lee"},      rating{"*****"}},
+  !FreeMusicDB{type{"Jazz"}}}`)
+
+	// A ratings database the GetRating service answers from.
+	ratings := axml.MustParseDocument(
+		`db{entry{title{"Body and Soul"},stars{"****"}}}`)
+
+	sys := axml.NewSystem()
+	must(sys.AddDocument(axml.NewDocument("ratings", ratings)))
+	must(sys.AddDocument(axml.NewDocument("directory", directory)))
+
+	// GetRating is a positive service: a conjunctive query joining the
+	// call's context (the cd element) with the ratings database.
+	must(sys.AddQuery(named(
+		`rating{$s} :- context/cd{title{$t}}, ratings/db{entry{title{$t},stars{$s}}}`,
+		"GetRating")))
+
+	// FreeMusicDB is a black-box monotone service (imagine a remote
+	// portal): it returns one more cd for the requested genre.
+	must(sys.AddService(axml.ConstService("FreeMusicDB", axml.Forest{
+		axml.MustParseDocument(`cd{title{"Naima"},singer{"John Coltrane"},rating{"****"}}`),
+	})))
+
+	res := sys.Run(axml.RunOptions{})
+	fmt.Printf("rewriting: steps=%d sweeps=%d terminated=%v\n\n",
+		res.Steps, res.Sweeps, res.Terminated)
+	fmt.Println("directory after materialization:")
+	fmt.Print(sys.Document("directory").Root.Indent())
+
+	// Query the enriched directory: all four-star-or-better songs.
+	q := axml.MustParseQuery(
+		`hit{$t,$s} :- directory/directory{cd{title{$t},rating{$s}}}, $s != "***"`)
+	ans, err := sys.SnapshotQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhits (rating != ***):")
+	for _, t := range ans {
+		fmt.Println(" ", t)
+	}
+}
+
+func named(rule, name string) *axml.Query {
+	q := axml.MustParseQuery(rule)
+	q.Name = name
+	return q
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Replication: a local peer mirrors a remote catalog whose content keeps
+// growing through its own service calls (the dynamic-XML-with-replication
+// scenario the paper's AXML line develops). Mirror syncs are least upper
+// bounds (Section 2.1's ∪), so they are monotone and idempotent — replays
+// and races can only add information.
+//
+//	go run ./examples/replication
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"axml"
+	"axml/internal/peer"
+)
+
+func main() {
+	// Remote peer: a catalog that grows as its feed service fires.
+	remoteSys := axml.MustParseSystem(`
+doc catalog = cat{item{"bop"},!NewArrivals}
+func NewArrivals = item{"cool-jazz"} :-
+`)
+	remotePeer := axml.NewPeer("store", remoteSys)
+	srv := httptest.NewServer(remotePeer.Handler())
+	defer srv.Close()
+	fmt.Println("remote store on", srv.URL)
+
+	// Local peer: an empty replica plus local-only annotations.
+	localSys := axml.MustParseSystem(`doc replica = cat{item{"local-note"}}`)
+	local := axml.NewPeer("cache", localSys)
+	m := &peer.Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "replica"}
+
+	// Round 1: initial pull.
+	if _, err := m.Sync(local); err != nil {
+		log.Fatal(err)
+	}
+	show(local, "after first sync")
+
+	// The remote evolves (its service fires), the replica catches up.
+	if _, err := remotePeer.Sweep(); err != nil {
+		log.Fatal(err)
+	}
+	rounds, stable, err := m.SyncUntilStable(local, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconverged after %d round(s), stable=%v, %d syncs total\n",
+		rounds, stable, m.Syncs)
+	show(local, "after convergence")
+}
+
+func show(p *axml.Peer, when string) {
+	p.System(func(s *axml.System) {
+		fmt.Printf("\nreplica %s:\n%s", when, s.Document("replica").Root.Indent())
+	})
+}

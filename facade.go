@@ -1,0 +1,90 @@
+package axml
+
+import (
+	"axml/internal/datalog"
+	"axml/internal/peer"
+	"axml/internal/tree"
+	"axml/internal/turing"
+)
+
+// Reserved document names bound at every service invocation (§2.2).
+const (
+	// Input is the reserved document carrying the call's parameters.
+	Input = tree.Input
+	// Context is the reserved document carrying the subtree rooted at
+	// the call's parent.
+	Context = tree.Context
+)
+
+// Distributed AXML (the P2P substrate; see internal/peer).
+type (
+	// Peer hosts a system and serves its services over HTTP.
+	Peer = peer.Peer
+	// RemoteService embeds a service living on another peer.
+	RemoteService = peer.RemoteService
+	// Envelope is a service invocation request on the wire.
+	Envelope = peer.Envelope
+	// Coordinator drives peers to a distributed fixpoint.
+	Coordinator = peer.Coordinator
+	// Publisher implements push-mode subscriptions on a peer.
+	Publisher = peer.Publisher
+	// Subscriber receives pushed forests into local documents.
+	Subscriber = peer.Subscriber
+)
+
+// Distributed entry points.
+var (
+	// NewPeer wraps a system as an HTTP peer.
+	NewPeer = peer.New
+	// NewPublisher wraps a peer for push mode.
+	NewPublisher = peer.NewPublisher
+	// NewSubscriber wraps a peer to receive pushes.
+	NewSubscriber = peer.NewSubscriber
+	// FetchDoc pulls a document from a peer.
+	FetchDoc = peer.FetchDoc
+	// MarshalTree and UnmarshalTree move trees through the XML wire
+	// format.
+	MarshalTree = peer.MarshalTree
+	// UnmarshalTree parses the XML wire format.
+	UnmarshalTree = peer.UnmarshalTree
+)
+
+// Datalog substrate (Example 3.2 and the QSQ companion technique).
+type (
+	// DatalogProgram is a positive datalog program.
+	DatalogProgram = datalog.Program
+	// DatalogAtom is a predicate over terms.
+	DatalogAtom = datalog.Atom
+	// DatalogRule is head :- body.
+	DatalogRule = datalog.Rule
+	// DatalogTerm is a variable or constant.
+	DatalogTerm = datalog.Term
+)
+
+// Datalog entry points.
+var (
+	// TransitiveClosure builds the TC program over a set of edges.
+	TransitiveClosure = datalog.TransitiveClosure
+	// DatalogDocName names the AXML document of a translated predicate.
+	DatalogDocName = datalog.DocName
+	// ParseDatalog reads a program in the conventional textual syntax
+	// ("tc(X,Y) :- edge(X,Y).").
+	ParseDatalog = datalog.Parse
+)
+
+// Turing machine embedding (Lemma 3.1).
+type (
+	// TuringMachine is a deterministic single-tape machine.
+	TuringMachine = turing.Machine
+	// TuringRule is one transition.
+	TuringRule = turing.Rule
+)
+
+// Turing entry points.
+var (
+	// CompileTuring builds the positive AXML system simulating a
+	// machine on an input tape.
+	CompileTuring = turing.Compile
+	// SimulateTuring compiles and runs a machine via the AXML engine.
+	SimulateTuring = turing.Simulate
+)

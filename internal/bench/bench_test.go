@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Each experiment must succeed with reduced parameters and print a table
+// header; the root-level benchmarks exercise the full parameters.
+func TestExperimentsSmall(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string
+		fn     func(w io.Writer) error
+	}{
+		{"E1", "E1", func(w io.Writer) error { return E1Reduce(w, []int{50, 100}) }},
+		{"E2", "E2", func(w io.Writer) error { return E2Confluence(w, 2) }},
+		{"E3", "E3", func(w io.Writer) error { return E3Snapshot(w, []int{4, 8}) }},
+		{"E4", "E4", func(w io.Writer) error { return E4TransitiveClosure(w, []int{5}) }},
+		{"E5", "E5", func(w io.Writer) error { return E5InfiniteGrowth(w, []int{3}) }},
+		{"E6", "E6", E6Termination},
+		{"E7", "E7", func(w io.Writer) error { return E7Lazy(w, []int{4}) }},
+		{"E8", "E8", E8PathTranslation},
+		{"E9", "E9", func(w io.Writer) error { return E9Turing(w, []int{1}) }},
+		{"E10", "E10", E10FireOnce},
+		{"E11", "E11", func(w io.Writer) error { return E11Peers(w, []int{2}) }},
+		{"AblationReduce", "Ablation", AblationReduceEvery},
+		{"AblationSched", "Ablation", AblationSchedulers},
+		{"AblationMinimize", "Ablation", AblationMinimize},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.fn(&buf); err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.name, err, buf.String())
+			}
+			if !strings.HasPrefix(buf.String(), c.header) {
+				t.Fatalf("%s output missing header:\n%s", c.name, buf.String())
+			}
+		})
+	}
+}
+
+func TestTCSystemHelper(t *testing.T) {
+	s := tcSystem([][2]string{{"a", "b"}, {"b", "c"}})
+	if !s.IsSimple() {
+		t.Fatal("tcSystem must be simple")
+	}
+	rel, err := relationFromTC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 {
+		t.Fatalf("pairs before running: %d", rel.Len())
+	}
+}

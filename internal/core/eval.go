@@ -1,0 +1,121 @@
+package core
+
+import (
+	"axml/internal/query"
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// EvalResult is the outcome of evaluating the full result [q](I) of a
+// query over a system (Section 3.1, Theorem 3.1).
+type EvalResult struct {
+	// Answer is the accumulated query result, reduced.
+	Answer tree.Forest
+	// Exact is true when the underlying rewriting terminated, so Answer
+	// is exactly [q](I); otherwise Answer is the (monotone) approximation
+	// after exhausting the budget.
+	Exact bool
+	// Run reports the underlying rewriting.
+	Run RunResult
+}
+
+// EvalQuery computes the full result of q over a copy of the system: it
+// runs a fair rewriting (bounded by opts) and evaluates the snapshot
+// semantics on the final state. Snapshot monotonicity (Proposition 3.1)
+// makes the final snapshot equal to the union of all intermediate
+// snapshots, so no per-step accumulation is needed. The receiver is not
+// modified.
+func (s *System) EvalQuery(q *query.Query, opts RunOptions) (EvalResult, error) {
+	c := s.Copy()
+	run := c.Run(opts)
+	if run.Err != nil {
+		return EvalResult{Run: run}, run.Err
+	}
+	ans, err := query.Snapshot(q, c.Docs())
+	if err != nil {
+		return EvalResult{Run: run}, err
+	}
+	return EvalResult{Answer: ans, Exact: run.Terminated, Run: run}, nil
+}
+
+// SnapshotQuery evaluates q on the current state without any invocation
+// (the snapshot result q(I)).
+func (s *System) SnapshotQuery(q *query.Query) (tree.Forest, error) {
+	return query.Snapshot(q, s.Docs())
+}
+
+// QFinite reports whether [q](I) stabilizes within the given step budget:
+// it runs a copy and watches the snapshot answer; if the rewriting
+// terminates the system is definitely q-finite (and the forest returned is
+// [q](I)). If the budget is exhausted it returns ok=false: q-finiteness is
+// undecidable in general (Proposition 3.2), and exactly decidable for
+// simple positive systems via package regular.
+func (s *System) QFinite(q *query.Query, maxSteps int) (ans tree.Forest, ok bool, err error) {
+	res, err := s.EvalQuery(q, RunOptions{MaxSteps: maxSteps})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Answer, res.Exact, nil
+}
+
+// PossibleAnswer reports whether the document α is a possible answer to q
+// over this system within the given budget (Section 4): α is a possible
+// answer when [α] ≡ [[q](I)]. Both sides are expanded within the budget;
+// exact is false when either side failed to converge, in which case the
+// verdict compares the budget-bounded approximations. answerDoc's calls
+// are resolved against this system's services.
+func (s *System) PossibleAnswer(q *query.Query, alpha tree.Forest, maxSteps int) (verdict, exact bool, err error) {
+	want, err := s.EvalQuery(q, RunOptions{MaxSteps: maxSteps})
+	if err != nil {
+		return false, false, err
+	}
+	// Expand alpha in a sandbox system sharing this system's documents
+	// and services, with each alpha tree wrapped under a fresh root.
+	sandbox := s.Copy()
+	wrap := tree.NewLabel("possible-answer-root")
+	for _, t := range alpha {
+		wrap.Children = append(wrap.Children, t.Copy())
+	}
+	if err := sandbox.AddDocument(tree.NewDocument("possible-answer", wrap)); err != nil {
+		return false, false, err
+	}
+	run := sandbox.Run(RunOptions{MaxSteps: maxSteps})
+	if run.Err != nil {
+		return false, false, run.Err
+	}
+	got := tree.Forest{}
+	for _, c := range sandbox.Document("possible-answer").Root.Children {
+		if c.Kind != tree.Func {
+			got = append(got, c)
+		}
+	}
+	got = stripCalls(got)
+	wantAns := stripCalls(want.Answer)
+	return subsume.ForestEquivalent(got, wantAns), want.Exact && run.Terminated, nil
+}
+
+// stripCalls removes residual function nodes from the forest: the
+// semantics [α] of a fully-expanded answer is compared on its data
+// content, calls that can bring nothing new having been exhausted by the
+// rewriting (or charged to the budget).
+func stripCalls(f tree.Forest) tree.Forest {
+	var out tree.Forest
+	for _, t := range f {
+		if t.Kind == tree.Func {
+			continue
+		}
+		out = append(out, stripCallsTree(t))
+	}
+	return subsume.ReduceForest(out)
+}
+
+func stripCallsTree(t *tree.Node) *tree.Node {
+	n := &tree.Node{Kind: t.Kind, Name: t.Name}
+	for _, c := range t.Children {
+		if c.Kind == tree.Func {
+			continue
+		}
+		n.Children = append(n.Children, stripCallsTree(c))
+	}
+	return n
+}

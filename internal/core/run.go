@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// Call locates one invocable function node: the document it lives in, the
+// node itself, its parent (the attachment point for results) and the
+// ancestor chain, which the localized reduction in Invoke walks upward.
+type Call struct {
+	Doc    string
+	Node   *tree.Node
+	Parent *tree.Node
+	// path links Parent back to the document root. Paths of sibling
+	// calls share their common prefix, so enumerating all calls costs
+	// O(document), not O(document · depth). It may be nil for calls
+	// constructed by hand; Invoke then recomputes the chain.
+	path *pathLink
+}
+
+// pathLink is one step of an immutable, structurally-shared ancestor
+// chain: node's parent chain continues in up (nil at the root).
+type pathLink struct {
+	node *tree.Node
+	up   *pathLink
+}
+
+// Ancestors materializes the chain root-first (parent of Node last), or
+// nil when the call was built by hand.
+func (c Call) Ancestors() []*tree.Node {
+	var rev []*tree.Node
+	for l := c.path; l != nil; l = l.up {
+		rev = append(rev, l.node)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Calls enumerates every function node occurrence across all documents in
+// document order, preorder within each document.
+func (s *System) Calls() []Call {
+	var out []Call
+	for _, name := range s.docNames {
+		root := s.docs[name].Root
+		if root.Kind == tree.Func {
+			continue // excluded by AddDocument; defensive
+		}
+		var rec func(n *tree.Node, up *pathLink)
+		rec = func(n *tree.Node, up *pathLink) {
+			if n.Kind == tree.Func {
+				out = append(out, Call{Doc: name, Node: n, Parent: up.node, path: up})
+			}
+			// Parameters of calls host calls too: keep walking below.
+			link := &pathLink{node: n, up: up}
+			for _, c := range n.Children {
+				rec(c, link)
+			}
+		}
+		rootLink := &pathLink{node: root}
+		for _, c := range root.Children {
+			rec(c, rootLink)
+		}
+	}
+	return out
+}
+
+// Invoke performs the invocation of Section 2.2 on the given call: it
+// builds the input and context documents, evaluates the service, appends
+// the result forest as siblings of the call node and reduces the document.
+// It reports whether the system strictly grew (I ≢ I', i.e. whether this
+// was a rewriting step in the sense of Definition 2.4).
+func (s *System) Invoke(c Call) (changed bool, err error) {
+	svc := s.funcs[c.Node.Name]
+	if svc == nil {
+		return false, fmt.Errorf("core: call to undefined service %q", c.Node.Name)
+	}
+	doc := s.docs[c.Doc]
+	if doc == nil {
+		return false, fmt.Errorf("core: call in unknown document %q", c.Doc)
+	}
+	attach := c.Parent
+	if attach == nil {
+		// Function roots are excluded by Definition 2.1(ii); documents
+		// added through AddDocument never reach this. Guard anyway.
+		return false, fmt.Errorf("core: call %q is a document root", c.Node.Name)
+	}
+	// Bindings alias the live trees: services read them (pattern
+	// matching never mutates, and head instantiation copies every bound
+	// subtree), and copying the context here would cost O(document) per
+	// invocation — it is the whole document for root-level calls.
+	input := &tree.Node{Kind: tree.Label, Name: tree.Input, Children: c.Node.Children}
+	b := Binding{
+		Input:   input,
+		Context: attach,
+		Docs:    s.Docs(),
+	}
+	forest, err := svc.Invoke(b)
+	if err != nil {
+		return false, fmt.Errorf("core: service %q: %w", c.Node.Name, err)
+	}
+	// Results subsumed by existing siblings cannot change the document.
+	fresh := reduceForestAgainst(attach, subsume.ReduceForest(forest))
+	if len(fresh) == 0 {
+		return false, nil
+	}
+	// Localized append-and-reduce. Documents are maintained reduced (no
+	// subtree subsumed by a sibling, recursively), and under that
+	// invariant appending non-redundant data ALWAYS strictly grows the
+	// document: a homomorphism from the grown document back into the old
+	// one would have to send the attach path onto a diverging sibling
+	// path, forcing a sibling subsumption that reducedness forbids. So
+	// no whole-document equivalence check is needed, and reduction only
+	// has to be repaired locally:
+	//   - at the attach node, existing children newly subsumed by a
+	//     fresh tree are pruned (fresh trees are already reduced and
+	//     mutually irredundant, and none is subsumed by an existing
+	//     child);
+	//   - on the ancestor path, the grown child may newly subsume its
+	//     siblings (it can never become subsumed: it only gained
+	//     information). Everything else is untouched by the append.
+	kept := attach.Children[:0]
+	for _, existing := range attach.Children {
+		dominated := false
+		for _, f := range fresh {
+			if subsume.Subsumed(existing, f) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, existing)
+		}
+	}
+	attach.Children = append(kept, fresh...)
+
+	path := c.Ancestors()
+	if len(path) == 0 || path[len(path)-1] != attach {
+		path = s.findPath(doc.Root, attach)
+	}
+	for i := len(path) - 2; i >= 0; i-- {
+		ancestor, grown := path[i], path[i+1]
+		pruned := ancestor.Children[:0]
+		for _, sib := range ancestor.Children {
+			if sib != grown && subsume.Subsumed(sib, grown) {
+				continue
+			}
+			pruned = append(pruned, sib)
+		}
+		ancestor.Children = pruned
+	}
+	s.docVersion[c.Doc]++
+	return true, nil
+}
+
+// relevantVersion sums the versions of the documents whose content can
+// influence the call's next answer: for positive services, the documents
+// their defining query reads (input and context both live inside the
+// call's own document); for black boxes, every document.
+func (s *System) relevantVersion(c Call) uint64 {
+	var sum uint64
+	if qs, ok := s.funcs[c.Node.Name].(*QueryService); ok {
+		seenOwn := false
+		for _, d := range qs.Query.DocNames() {
+			if d == tree.Input || d == tree.Context {
+				d = c.Doc
+			}
+			if d == c.Doc {
+				if seenOwn {
+					continue
+				}
+				seenOwn = true
+			}
+			sum += s.docVersion[d]
+		}
+		return sum
+	}
+	for _, d := range s.docNames {
+		sum += s.docVersion[d]
+	}
+	return sum
+}
+
+// findPath recomputes the ancestor chain root..target for calls built
+// without a Path. It returns nil when target is not in the tree.
+func (s *System) findPath(root, target *tree.Node) []*tree.Node {
+	var path []*tree.Node
+	var found []*tree.Node
+	var rec func(n *tree.Node) bool
+	rec = func(n *tree.Node) bool {
+		path = append(path, n)
+		if n == target {
+			found = append([]*tree.Node(nil), path...)
+			return true
+		}
+		for _, c := range n.Children {
+			if rec(c) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	rec(root)
+	return found
+}
+
+// Scheduler chooses the order in which the calls of a sweep are
+// attempted. Fairness is enforced by the engine's sweep structure, not by
+// the scheduler: every call present at the start of a sweep is attempted
+// during that sweep, in the order the scheduler fixed.
+type Scheduler interface {
+	// Order permutes the sweep's call list in place.
+	Order(calls []Call)
+}
+
+// RoundRobin attempts calls in document/preorder order.
+type RoundRobin struct{}
+
+// Order implements Scheduler (identity).
+func (RoundRobin) Order(calls []Call) {}
+
+// Reverse attempts calls in reverse document/preorder order.
+type Reverse struct{}
+
+// Order implements Scheduler.
+func (Reverse) Order(calls []Call) {
+	for i, j := 0, len(calls)-1; i < j; i, j = i+1, j-1 {
+		calls[i], calls[j] = calls[j], calls[i]
+	}
+}
+
+// Random attempts calls in uniformly random order, deterministically from
+// the seed. Distinct seeds give distinct fair sequences, which Experiment
+// E2 uses to demonstrate confluence (Theorem 2.1).
+type Random struct{ Rng *rand.Rand }
+
+// NewRandom returns a Random scheduler seeded with seed.
+func NewRandom(seed int64) *Random { return &Random{Rng: rand.New(rand.NewSource(seed))} }
+
+// Order implements Scheduler.
+func (r *Random) Order(calls []Call) {
+	r.Rng.Shuffle(len(calls), func(i, j int) { calls[i], calls[j] = calls[j], calls[i] })
+}
+
+// RunOptions bounds a rewriting run. The zero value means: round-robin
+// scheduling, at most DefaultMaxSteps rewriting steps and no node bound.
+type RunOptions struct {
+	// Scheduler orders call attempts within a sweep; nil means RoundRobin.
+	Scheduler Scheduler
+	// MaxSteps caps the number of strictly-growing invocations; 0 means
+	// DefaultMaxSteps. Use a finite budget for possibly-infinite systems.
+	MaxSteps int
+	// MaxNodes stops the run once the total system size exceeds it;
+	// 0 means unbounded.
+	MaxNodes int
+	// MaxSweeps stops after that many completed sweeps; 0 means
+	// unbounded. One sweep attempts every call present at its start.
+	MaxSweeps int
+	// OnStep, when non-nil, observes every strictly-growing invocation.
+	OnStep func(step int, c Call)
+}
+
+// DefaultMaxSteps bounds runs whose options leave MaxSteps at zero.
+const DefaultMaxSteps = 100000
+
+// RunResult reports what a rewriting run did.
+type RunResult struct {
+	// Steps counts strictly-growing invocations (rewriting steps).
+	Steps int
+	// Attempts counts all invocations, including no-ops.
+	Attempts int
+	// Sweeps counts completed fair sweeps over all calls.
+	Sweeps int
+	// Terminated is true when the run reached a fixpoint: a full sweep
+	// in which no invocation changed the system (the system "terminates
+	// at" its current state, Definition 2.4).
+	Terminated bool
+	// Err is the first service error encountered, if any.
+	Err error
+}
+
+// Run executes a fair rewriting sequence in place until termination or
+// budget exhaustion and reports the outcome. Fairness: the engine works in
+// sweeps; a sweep attempts every function node that exists when its turn
+// comes (including nodes created earlier in the same sweep), each at most
+// once per sweep. A system state is final iff a whole sweep changes
+// nothing; by Theorem 2.1 the final state does not depend on the
+// scheduler.
+func (s *System) Run(opts RunOptions) RunResult {
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = RoundRobin{}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	var res RunResult
+	// seen gates provably-sterile re-attempts: a call attempted when the
+	// documents its service reads had version v returns the same answer
+	// as long as those versions stay v (services are deterministic
+	// monotone functions of what they read). Skipping it satisfies the
+	// fairness condition (ii) of Definition 2.4 — an invocation would
+	// not modify the system.
+	seen := make(map[*tree.Node]uint64)
+	for {
+		res.Sweeps++
+		changedInSweep := false
+		// Snapshot the calls existing at sweep start: calls created by
+		// answers during this sweep wait for the next one. This is what
+		// makes every execution fair — no branch can starve another by
+		// producing fresh calls faster than the sweep drains them.
+		pending := s.Calls()
+		sched.Order(pending)
+		for _, c := range pending {
+			// Version gate first (O(1)): a sterile call skips even the
+			// ancestor-chain validation.
+			rv := s.relevantVersion(c)
+			if last, ok := seen[c.Node]; ok && last == rv {
+				continue
+			}
+			// Reduction during this sweep may have pruned the node.
+			if !s.attached(c) {
+				continue
+			}
+			seen[c.Node] = rv
+			res.Attempts++
+			changed, err := s.Invoke(c)
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			if changed {
+				res.Steps++
+				changedInSweep = true
+				if opts.OnStep != nil {
+					opts.OnStep(res.Steps, c)
+				}
+				if res.Steps >= maxSteps {
+					return res
+				}
+				if opts.MaxNodes > 0 && s.Size() > opts.MaxNodes {
+					return res
+				}
+			}
+		}
+		if !changedInSweep {
+			res.Terminated = true
+			return res
+		}
+		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
+			return res
+		}
+	}
+}
+
+// pendingCalls lists current calls not in the fired set. Nodes removed by
+// reduction disappear from the enumeration automatically.
+func (s *System) pendingCalls(fired map[*tree.Node]bool) []Call {
+	all := s.Calls()
+	pending := all[:0]
+	for _, c := range all {
+		if !fired[c.Node] {
+			pending = append(pending, c)
+		}
+	}
+	return pending
+}
+
+// attached reports whether the call's node is still part of its document,
+// by re-validating the recorded ancestor chain (pruning only ever detaches
+// whole subtrees, so intact links mean the node is present). Calls without
+// a recorded path fall back to a full-document search.
+func (s *System) attached(c Call) bool {
+	d := s.docs[c.Doc]
+	if d == nil {
+		return false
+	}
+	if c.path == nil {
+		return s.containsNode(c.Doc, c.Node)
+	}
+	child := c.Node
+	link := c.path
+	for link != nil {
+		found := false
+		for _, ch := range link.node.Children {
+			if ch == child {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		child = link.node
+		link = link.up
+	}
+	return child == d.Root
+}
+
+// Terminates runs a copy of the system within the given budget and
+// reports (terminated, steps). For simple positive systems prefer the
+// exact decision procedure in package regular (Theorem 3.3); this is the
+// semi-decision procedure available for arbitrary monotone systems (the
+// problem is undecidable in general, Corollary 3.1).
+func (s *System) Terminates(maxSteps int) (bool, int) {
+	c := s.Copy()
+	res := c.Run(RunOptions{MaxSteps: maxSteps})
+	return res.Terminated, res.Steps
+}

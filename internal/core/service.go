@@ -1,0 +1,142 @@
+// Package core implements monotone Active XML systems (Section 2 of the
+// paper) and positive systems (Section 3): documents with embedded service
+// calls, black-box and query-defined monotone services, the invocation
+// semantics with the reserved input and context documents, fair rewriting
+// sequences with pluggable schedulers, termination detection, full query
+// results over systems, dependency graphs and acyclic systems, and the
+// fire-once alternative semantics.
+package core
+
+import (
+	"fmt"
+
+	"axml/internal/query"
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// Binding carries the meaning θ given to document names when a service is
+// invoked: the reserved input and context documents plus the system's
+// documents (Section 2.2).
+type Binding struct {
+	// Input is a tree rooted at a node labeled "input" whose children
+	// are the call's parameter subtrees.
+	Input *tree.Node
+	// Context is the subtree rooted at the parent of the call node. For
+	// a call appearing directly under the document root, the context is
+	// the whole document.
+	Context *tree.Node
+	// Docs maps system document names to their current trees.
+	//
+	// All binding trees (Input, Context, Docs) alias the LIVE system
+	// trees for performance: services must treat them as read-only and
+	// must return freshly allocated result trees. QueryService respects
+	// this by construction (matching is read-only, instantiation
+	// copies); custom GoServices must copy anything they retain.
+	Docs query.Docs
+}
+
+// docs returns the full θ binding including the reserved names.
+func (b Binding) docs() query.Docs {
+	all := make(query.Docs, len(b.Docs)+2)
+	for k, v := range b.Docs {
+		all[k] = v
+	}
+	all[tree.Input] = b.Input
+	all[tree.Context] = b.Context
+	return all
+}
+
+// Service is a Web service as seen by the system: a function from a
+// binding of document names to a forest of AXML trees. Implementations
+// must be monotone: enlarging any input document (w.r.t. subsumption) may
+// only enlarge the result forest. The engine relies on monotonicity for
+// confluence (Theorem 2.1) but cannot verify it for black boxes.
+type Service interface {
+	// ServiceName returns the function name f the service is bound to.
+	ServiceName() string
+	// Invoke evaluates the service on the binding. The returned forest
+	// must consist of freshly allocated trees owned by the caller.
+	Invoke(b Binding) (tree.Forest, error)
+}
+
+// QueryService is a positive service: a service defined by a positive
+// query, evaluated under its snapshot semantics at each invocation
+// (Section 3.2). Positive services are monotone by Proposition 3.1.
+type QueryService struct {
+	Query *query.Query
+}
+
+// NewQueryService wraps a validated query as a service. The query's Name
+// is the function name.
+func NewQueryService(q *query.Query) (*QueryService, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	if q.Name == "" {
+		return nil, fmt.Errorf("core: query service needs a function name")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &QueryService{Query: q}, nil
+}
+
+// ServiceName implements Service.
+func (s *QueryService) ServiceName() string { return s.Query.Name }
+
+// Invoke evaluates the defining query's snapshot semantics on the binding.
+func (s *QueryService) Invoke(b Binding) (tree.Forest, error) {
+	return query.Snapshot(s.Query, b.docs())
+}
+
+// IsSimple reports whether the defining query is simple (no tree
+// variables).
+func (s *QueryService) IsSimple() bool { return s.Query.IsSimple() }
+
+// GoService is a black-box monotone service implemented by an arbitrary Go
+// function, modelling remote Web services whose definitions are unknown
+// (the "black-box" view of Section 2.2). The engine treats it as opaque:
+// analyses that need declarative definitions (dependency graphs, regular
+// representations) reject systems containing GoServices.
+type GoService struct {
+	// Name is the function name the service answers to.
+	Name string
+	// Fn computes the result forest. It must be monotone and must return
+	// fresh trees.
+	Fn func(b Binding) (tree.Forest, error)
+}
+
+// ServiceName implements Service.
+func (s *GoService) ServiceName() string { return s.Name }
+
+// Invoke implements Service.
+func (s *GoService) Invoke(b Binding) (tree.Forest, error) { return s.Fn(b) }
+
+// ConstService returns a black-box service that always returns (a copy of)
+// the given forest, the simplest monotone service. Useful in tests and as
+// the paper's Example 2.1 service.
+func ConstService(name string, result tree.Forest) *GoService {
+	return &GoService{Name: name, Fn: func(Binding) (tree.Forest, error) {
+		return result.Copy(), nil
+	}}
+}
+
+// reduceForestAgainst drops from f every tree already subsumed by an
+// existing child of parent, returning the surviving trees.
+func reduceForestAgainst(parent *tree.Node, f tree.Forest) tree.Forest {
+	var out tree.Forest
+	for _, t := range f {
+		dominated := false
+		for _, c := range parent.Children {
+			if subsume.Subsumed(t, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+)
+
+// ShortestRun searches for a minimal-length rewriting reaching a state
+// that satisfies target, by breadth-first search over the (memoized)
+// state space of invocation sequences. Section 4 observes that the
+// ordering of calls matters when one wants rewritings of minimal length
+// and that the problem is decidable (though very expensive) for simple
+// systems; this is that procedure, budget-bounded so it is usable on
+// arbitrary monotone systems too.
+//
+// It returns the minimal number of strictly-growing invocations needed,
+// the sequence of call descriptions (service names at their attach
+// labels), and ok=false when no satisfying state is reachable within
+// MaxStates explored states.
+//
+// The receiver is not modified.
+func (s *System) ShortestRun(target func(*System) bool, opts ShortestOptions) (steps int, trace []string, ok bool, err error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	type state struct {
+		sys   *System
+		depth int
+		trace []string
+	}
+	start := s.Copy()
+	if target(start) {
+		return 0, nil, true, nil
+	}
+	seen := map[string]bool{start.CanonicalString(): true}
+	queue := []state{{sys: start}}
+	explored := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range cur.sys.Calls() {
+			next := cur.sys.Copy()
+			// Find the corresponding call in the copy by position.
+			nc, found := matchCall(next, cur.sys, c)
+			if !found {
+				continue
+			}
+			changed, err := next.Invoke(nc)
+			if err != nil {
+				return 0, nil, false, err
+			}
+			if !changed {
+				continue
+			}
+			key := next.CanonicalString()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			explored++
+			if explored > maxStates {
+				return 0, nil, false, fmt.Errorf("core: ShortestRun exceeded %d states", maxStates)
+			}
+			step := fmt.Sprintf("%s@%s", c.Node.Name, c.Parent.Name)
+			tr := append(append([]string(nil), cur.trace...), step)
+			if target(next) {
+				return cur.depth + 1, tr, true, nil
+			}
+			queue = append(queue, state{sys: next, depth: cur.depth + 1, trace: tr})
+		}
+	}
+	return 0, nil, false, nil
+}
+
+// ShortestOptions bounds ShortestRun.
+type ShortestOptions struct {
+	// MaxStates caps the number of distinct states explored; 0 means
+	// DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds ShortestRun searches by default.
+const DefaultMaxStates = 20000
+
+// matchCall finds, in the copied system, the call at the same position as
+// c in the original (documents are copied structurally, so positions
+// correspond by preorder index).
+func matchCall(copySys, origSys *System, c Call) (Call, bool) {
+	origCalls := origSys.Calls()
+	idx := -1
+	for i, oc := range origCalls {
+		if oc.Node == c.Node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return Call{}, false
+	}
+	copyCalls := copySys.Calls()
+	if idx >= len(copyCalls) {
+		return Call{}, false
+	}
+	return copyCalls[idx], true
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/syntax"
+)
+
+// hasPair reports whether d1 contains the closure pair (x, y).
+func hasPair(s *System, x, y string) bool {
+	q := &query.Query{
+		Name: "probe",
+		Head: pattern.Label("hit"),
+		Body: []query.Atom{{Doc: "d1", Pattern: syntax.MustParsePattern(
+			`r{t{a{"` + x + `"},b{"` + y + `"}}}`)}},
+	}
+	ans, err := query.Snapshot(q, s.Docs())
+	return err == nil && len(ans) == 1
+}
+
+func TestShortestRunFindsMinimalDerivation(t *testing.T) {
+	s := MustParseSystem(tcSystem)
+	// Deriving the base pairs needs exactly one invocation (g).
+	steps, trace, ok, err := s.ShortestRun(func(st *System) bool {
+		return hasPair(st, "1", "2")
+	}, ShortestOptions{})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if steps != 1 {
+		t.Fatalf("base pair needs %d steps, want 1 (trace %v)", steps, trace)
+	}
+	if !strings.HasPrefix(trace[0], "g@") {
+		t.Fatalf("trace = %v", trace)
+	}
+	// The full closure pair (1,4) needs g then two compositions: 3 steps.
+	steps, trace, ok, err = s.ShortestRun(func(st *System) bool {
+		return hasPair(st, "1", "4")
+	}, ShortestOptions{})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if steps != 3 {
+		t.Fatalf("(1,4) needs %d steps, want 3 (trace %v)", steps, trace)
+	}
+	// The receiver must be untouched.
+	if hasPair(s, "1", "2") {
+		t.Fatal("ShortestRun mutated the receiver")
+	}
+}
+
+func TestShortestRunAlreadySatisfied(t *testing.T) {
+	s := MustParseSystem(tcSystem)
+	steps, trace, ok, err := s.ShortestRun(func(*System) bool { return true }, ShortestOptions{})
+	if err != nil || !ok || steps != 0 || trace != nil {
+		t.Fatalf("steps=%d trace=%v ok=%v err=%v", steps, trace, ok, err)
+	}
+}
+
+func TestShortestRunUnreachable(t *testing.T) {
+	s := MustParseSystem(tcSystem)
+	_, _, ok, err := s.ShortestRun(func(st *System) bool {
+		return hasPair(st, "4", "1") // never derivable on a chain
+	}, ShortestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("underivable pair reported reachable")
+	}
+}
+
+func TestShortestRunStateBudget(t *testing.T) {
+	inf := MustParseSystem("doc d = a{!f}\nfunc f = a{!f} :- ")
+	_, _, _, err := inf.ShortestRun(func(*System) bool { return false }, ShortestOptions{MaxStates: 10})
+	if err == nil {
+		t.Fatal("state budget not enforced on an infinite system")
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/subsume"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// System is a monotone AXML system (D, F, I) of Definition 2.3: a finite
+// set of named documents and a finite set of named services. Documents are
+// owned by the system and mutated by invocations; take Copy before running
+// if the original state matters.
+type System struct {
+	docNames  []string
+	docs      map[string]*tree.Document
+	funcNames []string
+	funcs     map[string]Service
+	// docVersion counts the strictly-growing invocations applied to each
+	// document. Services are deterministic monotone functions of the
+	// documents they read, so a call whose relevant versions are
+	// unchanged since its last attempt cannot bring anything new — the
+	// engine uses this to skip provably-sterile attempts.
+	docVersion map[string]uint64
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		docs:       make(map[string]*tree.Document),
+		funcs:      make(map[string]Service),
+		docVersion: make(map[string]uint64),
+	}
+}
+
+// AddDocument adds a named document. Reserved names and duplicates are
+// rejected; the root must be a data node (Definition 2.1(ii)).
+func (s *System) AddDocument(d *tree.Document) error {
+	if d == nil || d.Root == nil {
+		return fmt.Errorf("core: nil document")
+	}
+	if d.Name == tree.Input || d.Name == tree.Context {
+		return tree.ErrReservedName
+	}
+	if _, dup := s.docs[d.Name]; dup {
+		return fmt.Errorf("core: duplicate document %q", d.Name)
+	}
+	if err := d.Root.Validate(); err != nil {
+		return err
+	}
+	if d.Root.Kind == tree.Func {
+		return fmt.Errorf("core: document %q has a function node as root; roots carry labels or values", d.Name)
+	}
+	// Documents are identified with their reduced versions (Section 2.1);
+	// the engine maintains reduction as an invariant from here on.
+	subsume.ReduceInPlace(d.Root)
+	s.docNames = append(s.docNames, d.Name)
+	s.docs[d.Name] = d
+	return nil
+}
+
+// AddService registers a service under its function name.
+func (s *System) AddService(svc Service) error {
+	if svc == nil {
+		return fmt.Errorf("core: nil service")
+	}
+	name := svc.ServiceName()
+	if name == "" {
+		return fmt.Errorf("core: service with empty name")
+	}
+	if _, dup := s.funcs[name]; dup {
+		return fmt.Errorf("core: duplicate service %q", name)
+	}
+	s.funcNames = append(s.funcNames, name)
+	s.funcs[name] = svc
+	return nil
+}
+
+// AddQuery registers a positive service defined by the query (whose Name
+// is the function name).
+func (s *System) AddQuery(q *query.Query) error {
+	svc, err := NewQueryService(q)
+	if err != nil {
+		return err
+	}
+	return s.AddService(svc)
+}
+
+// FromSpec builds a system from a parsed system file.
+func FromSpec(spec *syntax.SystemSpec) (*System, error) {
+	s := NewSystem()
+	for _, d := range spec.Docs {
+		if err := s.AddDocument(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range spec.Funcs {
+		if err := s.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSystem parses a system file and builds the system.
+func ParseSystem(src string) (*System, error) {
+	spec, err := syntax.ParseSystem(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromSpec(spec)
+}
+
+// MustParseSystem is ParseSystem panicking on error, for tests.
+func MustParseSystem(src string) *System {
+	s, err := ParseSystem(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DocNames returns the document names in insertion order.
+func (s *System) DocNames() []string { return append([]string(nil), s.docNames...) }
+
+// FuncNames returns the service names in insertion order.
+func (s *System) FuncNames() []string { return append([]string(nil), s.funcNames...) }
+
+// Document returns the named document, or nil.
+func (s *System) Document(name string) *tree.Document { return s.docs[name] }
+
+// Service returns the named service, or nil.
+func (s *System) Service(name string) Service { return s.funcs[name] }
+
+// Docs returns the current document binding (live trees; do not modify).
+func (s *System) Docs() query.Docs {
+	d := make(query.Docs, len(s.docs))
+	for name, doc := range s.docs {
+		d[name] = doc.Root
+	}
+	return d
+}
+
+// Size returns the total number of nodes across all documents.
+func (s *System) Size() int {
+	n := 0
+	for _, d := range s.docs {
+		n += d.Root.Size()
+	}
+	return n
+}
+
+// CountCalls returns the number of function nodes across all documents.
+func (s *System) CountCalls() int {
+	n := 0
+	for _, d := range s.docs {
+		n += d.Root.CountFunc()
+	}
+	return n
+}
+
+// Copy deep-copies the documents; services are shared (they are stateless
+// by contract).
+func (s *System) Copy() *System {
+	c := NewSystem()
+	for _, name := range s.docNames {
+		c.docNames = append(c.docNames, name)
+		c.docs[name] = s.docs[name].Copy()
+		c.docVersion[name] = s.docVersion[name]
+	}
+	for _, name := range s.funcNames {
+		c.funcNames = append(c.funcNames, name)
+		c.funcs[name] = s.funcs[name]
+	}
+	return c
+}
+
+// CanonicalString renders every document canonically, sorted by name. Two
+// systems over the same names are equivalent (documents pairwise
+// equivalent) iff the canonical strings of their reduced forms are equal.
+func (s *System) CanonicalString() string {
+	names := append([]string(nil), s.docNames...)
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(name)
+		b.WriteByte('/')
+		b.WriteString(s.docs[name].Root.CanonicalString())
+	}
+	return b.String()
+}
+
+// Validate checks cross-references: every function name used in a document
+// or produced/queried by a positive service is defined, and positive
+// services only read defined document names (or the reserved ones).
+func (s *System) Validate() error {
+	for _, name := range s.docNames {
+		var err error
+		s.docs[name].Root.Walk(func(n, _ *tree.Node) bool {
+			if n.Kind == tree.Func {
+				if _, ok := s.funcs[n.Name]; !ok {
+					err = fmt.Errorf("core: document %q calls undefined service %q", name, n.Name)
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, fname := range s.funcNames {
+		qs, ok := s.funcs[fname].(*QueryService)
+		if !ok {
+			continue
+		}
+		for _, docName := range qs.Query.DocNames() {
+			if docName == tree.Input || docName == tree.Context {
+				continue
+			}
+			if _, ok := s.docs[docName]; !ok {
+				return fmt.Errorf("core: service %q reads undefined document %q", fname, docName)
+			}
+		}
+		for _, used := range queryFuncNames(qs.Query) {
+			if _, ok := s.funcs[used]; !ok {
+				return fmt.Errorf("core: service %q mentions undefined service %q", fname, used)
+			}
+		}
+	}
+	return nil
+}
+
+// IsPositive reports whether every service is a QueryService (a positive
+// system, Section 3.2).
+func (s *System) IsPositive() bool {
+	for _, name := range s.funcNames {
+		if _, ok := s.funcs[name].(*QueryService); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSimple reports whether the system is positive and every service query
+// is simple (a simple positive system).
+func (s *System) IsSimple() bool {
+	for _, name := range s.funcNames {
+		qs, ok := s.funcs[name].(*QueryService)
+		if !ok || !qs.IsSimple() {
+			return false
+		}
+	}
+	return true
+}
+
+// queryFuncNames collects constant function names mentioned anywhere in a
+// query (head or body patterns), sorted.
+func queryFuncNames(q *query.Query) []string {
+	names := map[string]bool{}
+	collectFuncNames(q.Head, names)
+	for _, a := range q.Body {
+		collectFuncNames(a.Pattern, names)
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFuncNames(p *pattern.Node, dst map[string]bool) {
+	if p == nil {
+		return
+	}
+	if p.Kind == pattern.ConstFunc {
+		dst[p.Name] = true
+	}
+	for _, c := range p.Children {
+		collectFuncNames(c, dst)
+	}
+}

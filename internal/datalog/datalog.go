@@ -1,0 +1,387 @@
+// Package datalog implements a positive datalog engine: naive and
+// semi-naive bottom-up evaluation and a tabled top-down evaluator in the
+// spirit of Query-SubQuery (QSQ) [Vieille 1986], the optimization the
+// paper's companion work lifts to positive AXML.
+//
+// It also translates datalog programs into simple positive AXML systems,
+// generalizing Example 3.2 (the transitive-closure system): the paper
+// notes that any datalog program can be simulated by a simple positive
+// system, and this package makes the simulation executable and testable in
+// both directions (same fixpoint).
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a datalog term: a variable (uppercase by convention, but any
+// non-empty Var wins) or a constant.
+type Term struct {
+	Var   string
+	Const string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(value string) Term { return Term{Const: value} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return fmt.Sprintf("%q", t.Const)
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// A builds an atom.
+func A(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Ground reports whether the atom has no variables.
+func (a Atom) Ground() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule is head :- body with optional inequalities.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	Neq  [][2]Term
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	var parts []string
+	for _, a := range r.Body {
+		parts = append(parts, a.String())
+	}
+	for _, e := range r.Neq {
+		parts = append(parts, e[0].String()+" != "+e[1].String())
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ")
+}
+
+// Program is a set of rules plus ground EDB facts.
+type Program struct {
+	Rules []Rule
+	Facts []Atom
+}
+
+// Validate checks range restriction (head variables bound in the body)
+// and fact groundness.
+func (p *Program) Validate() error {
+	arity := map[string]int{}
+	check := func(a Atom) error {
+		if prev, ok := arity[a.Pred]; ok && prev != len(a.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, prev, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, f := range p.Facts {
+		if !f.Ground() {
+			return fmt.Errorf("datalog: non-ground fact %s", f)
+		}
+		if err := check(f); err != nil {
+			return err
+		}
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		bound := map[string]bool{}
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return err
+			}
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bound[t.Var] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.IsVar() && !bound[t.Var] {
+				return fmt.Errorf("datalog: rule %s is not range-restricted (%s unbound)", r, t.Var)
+			}
+		}
+		for _, e := range r.Neq {
+			for _, t := range e {
+				if t.IsVar() && !bound[t.Var] {
+					return fmt.Errorf("datalog: inequality variable %s unbound in %s", t.Var, r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Tuple is one derived row.
+type Tuple []string
+
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Relation is a set of tuples.
+type Relation struct {
+	tuples map[string]Tuple
+}
+
+// NewRelation returns an empty relation.
+func NewRelation() *Relation { return &Relation{tuples: map[string]Tuple{}} }
+
+// Add inserts a tuple, reporting whether it was new.
+func (r *Relation) Add(t Tuple) bool {
+	k := t.key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	r.tuples[k] = t
+	return true
+}
+
+// Has tests membership.
+func (r *Relation) Has(t Tuple) bool { _, ok := r.tuples[t.key()]; return ok }
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples, sorted for determinism.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// DB maps predicate names to relations.
+type DB map[string]*Relation
+
+// rel returns (allocating) the relation for pred.
+func (db DB) rel(pred string) *Relation {
+	r, ok := db[pred]
+	if !ok {
+		r = NewRelation()
+		db[pred] = r
+	}
+	return r
+}
+
+// Count returns the total number of tuples.
+func (db DB) Count() int {
+	n := 0
+	for _, r := range db {
+		n += r.Len()
+	}
+	return n
+}
+
+// edb loads the facts into a fresh database.
+func (p *Program) edb() DB {
+	db := DB{}
+	for _, f := range p.Facts {
+		t := make(Tuple, len(f.Args))
+		for i, a := range f.Args {
+			t[i] = a.Const
+		}
+		db.rel(f.Pred).Add(t)
+	}
+	return db
+}
+
+// Stats reports evaluation effort.
+type Stats struct {
+	// Iterations counts fixpoint rounds.
+	Iterations int
+	// Derivations counts rule firings that produced a (possibly
+	// duplicate) head tuple.
+	Derivations int
+}
+
+// Naive evaluates the program bottom-up, re-deriving everything each
+// round until fixpoint.
+func (p *Program) Naive() (DB, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	db := p.edb()
+	var st Stats
+	for {
+		st.Iterations++
+		changed := false
+		for _, r := range p.Rules {
+			for _, tpl := range fireRule(r, db, nil, nil) {
+				st.Derivations++
+				if db.rel(r.Head.Pred).Add(tpl) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return db, st, nil
+		}
+	}
+}
+
+// SemiNaive evaluates bottom-up with delta relations: each round joins at
+// least one delta from the previous round, avoiding re-derivations.
+func (p *Program) SemiNaive() (DB, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	db := p.edb()
+	var st Stats
+	// Initial deltas: everything known.
+	delta := DB{}
+	for pred, rel := range db {
+		d := NewRelation()
+		for _, t := range rel.Tuples() {
+			d.Add(t)
+		}
+		delta[pred] = d
+	}
+	for {
+		st.Iterations++
+		next := DB{}
+		for _, r := range p.Rules {
+			// One pass per body position using the delta there.
+			for pos := range r.Body {
+				if delta[r.Body[pos].Pred] == nil || delta[r.Body[pos].Pred].Len() == 0 {
+					continue
+				}
+				for _, tpl := range fireRule(r, db, delta, &pos) {
+					st.Derivations++
+					if !db.rel(r.Head.Pred).Has(tpl) && next.rel(r.Head.Pred).Add(tpl) {
+						// collected; merged below
+						_ = tpl
+					}
+				}
+			}
+		}
+		changed := false
+		for pred, rel := range next {
+			for _, t := range rel.Tuples() {
+				if db.rel(pred).Add(t) {
+					changed = true
+				}
+			}
+		}
+		delta = next
+		if !changed {
+			return db, st, nil
+		}
+	}
+}
+
+// fireRule enumerates the head tuples derivable by r from db; when
+// deltaPos is non-nil, the body atom at that position ranges over delta
+// instead of the full database (semi-naive restriction).
+func fireRule(r Rule, db DB, delta DB, deltaPos *int) []Tuple {
+	var out []Tuple
+	var rec func(i int, binding map[string]string)
+	rec = func(i int, binding map[string]string) {
+		if i == len(r.Body) {
+			for _, e := range r.Neq {
+				l, r0 := resolve(e[0], binding), resolve(e[1], binding)
+				if l == r0 {
+					return
+				}
+			}
+			t := make(Tuple, len(r.Head.Args))
+			for j, a := range r.Head.Args {
+				t[j] = resolve(a, binding)
+			}
+			out = append(out, t)
+			return
+		}
+		atom := r.Body[i]
+		var rel *Relation
+		if deltaPos != nil && i == *deltaPos {
+			rel = delta[atom.Pred]
+		} else {
+			rel = db[atom.Pred]
+		}
+		if rel == nil {
+			return
+		}
+		for _, tpl := range rel.Tuples() {
+			if len(tpl) != len(atom.Args) {
+				continue
+			}
+			nb := binding
+			copied := false
+			ok := true
+			for j, a := range atom.Args {
+				if a.IsVar() {
+					if v, bound := nb[a.Var]; bound {
+						if v != tpl[j] {
+							ok = false
+							break
+						}
+					} else {
+						if !copied {
+							nb = copyBinding(nb)
+							copied = true
+						}
+						nb[a.Var] = tpl[j]
+					}
+				} else if a.Const != tpl[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(i+1, nb)
+			}
+		}
+	}
+	rec(0, map[string]string{})
+	return out
+}
+
+func resolve(t Term, binding map[string]string) string {
+	if t.IsVar() {
+		return binding[t.Var]
+	}
+	return t.Const
+}
+
+func copyBinding(b map[string]string) map[string]string {
+	c := make(map[string]string, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}

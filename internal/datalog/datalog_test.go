@@ -1,0 +1,218 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+)
+
+func chain(n int) [][2]string {
+	var edges [][2]string
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]string{num(i), num(i + 1)})
+	}
+	return edges
+}
+
+func num(i int) string { return string(rune('a' + i)) }
+
+func relString(r *Relation) string {
+	var parts []string
+	for _, t := range r.Tuples() {
+		parts = append(parts, strings.Join(t, "-"))
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestNaiveAndSemiNaiveAgree(t *testing.T) {
+	p := TransitiveClosure(chain(5))
+	ndb, nst, err := p.Naive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, sst, err := p.SemiNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relString(ndb["tc"]) != relString(sdb["tc"]) {
+		t.Fatalf("naive %s != semi-naive %s", relString(ndb["tc"]), relString(sdb["tc"]))
+	}
+	// Chain of 5 edges: 6 nodes, C(6,2)=15 pairs.
+	if ndb["tc"].Len() != 15 {
+		t.Fatalf("tc size = %d, want 15", ndb["tc"].Len())
+	}
+	if nst.Derivations <= sst.Derivations {
+		t.Logf("naive %d vs semi-naive %d derivations (expected naive >= semi-naive)", nst.Derivations, sst.Derivations)
+	}
+}
+
+func TestCyclicGraphTC(t *testing.T) {
+	p := TransitiveClosure([][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}})
+	db, _, err := p.SemiNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 9 ordered pairs derivable on a 3-cycle.
+	if db["tc"].Len() != 9 {
+		t.Fatalf("cyclic tc = %d, want 9", db["tc"].Len())
+	}
+}
+
+func TestInequalities(t *testing.T) {
+	p := &Program{
+		Facts: []Atom{A("n", C("1")), A("n", C("2"))},
+		Rules: []Rule{{
+			Head: A("pair", V("X"), V("Y")),
+			Body: []Atom{A("n", V("X")), A("n", V("Y"))},
+			Neq:  [][2]Term{{V("X"), V("Y")}},
+		}},
+	}
+	db, _, err := p.Naive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db["pair"].Len() != 2 {
+		t.Fatalf("pair = %s", relString(db["pair"]))
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Program{
+		{Facts: []Atom{A("e", V("X"))}},                                                  // non-ground fact
+		{Rules: []Rule{{Head: A("p", V("X"))}}},                                          // unsafe head
+		{Facts: []Atom{A("e", C("1"))}, Rules: []Rule{{Head: A("e", C("1"), C("2"))}}},   // arity clash
+		{Rules: []Rule{{Head: A("p", C("1")), Neq: [][2]Term{{V("Z"), C("1")}}}}},        // unbound ineq var
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestQSQMatchesBottomUp(t *testing.T) {
+	p := TransitiveClosure(chain(6))
+	db, _, err := p.SemiNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully bound goal.
+	got, _, err := p.QSQ(A("tc", C("a"), C("d")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("bound goal: %s", relString(got))
+	}
+	// Half-bound goal: everything reachable from a.
+	got, _, err = p.QSQ(A("tc", C("a"), V("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tpl := range db["tc"].Tuples() {
+		if tpl[0] == "a" {
+			want++
+		}
+	}
+	if got.Len() != want {
+		t.Fatalf("half-bound: %d, want %d", got.Len(), want)
+	}
+	// Free goal: full relation.
+	got, _, err = p.QSQ(A("tc", V("X"), V("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relString(got) != relString(db["tc"]) {
+		t.Fatalf("free goal differs:\n%s\nvs\n%s", relString(got), relString(db["tc"]))
+	}
+}
+
+func TestQSQRepeatedGoalVariable(t *testing.T) {
+	p := TransitiveClosure([][2]string{{"a", "b"}, {"b", "a"}, {"b", "c"}})
+	got, _, err := p.QSQ(A("tc", V("X"), V("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-loops through the a<->b cycle: (a,a) and (b,b).
+	if got.Len() != 2 {
+		t.Fatalf("self pairs: %s", relString(got))
+	}
+}
+
+func TestToAXMLFixpointMatchesSemiNaive(t *testing.T) {
+	p := TransitiveClosure(chain(4))
+	s, err := p.ToAXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsSimple() {
+		t.Fatal("datalog translation must be simple")
+	}
+	res := s.Run(core.RunOptions{})
+	if !res.Terminated {
+		t.Fatalf("AXML run did not terminate: %+v", res)
+	}
+	rel, err := FromAXMLDoc(s.Document(DocName("tc")).Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := p.SemiNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relString(rel) != relString(db["tc"]) {
+		t.Fatalf("AXML %s != datalog %s", relString(rel), relString(db["tc"]))
+	}
+}
+
+func TestToAXMLWithConstantsAndIneq(t *testing.T) {
+	p := &Program{
+		Facts: []Atom{A("e", C("1"), C("2")), A("e", C("2"), C("3")), A("e", C("3"), C("3"))},
+		Rules: []Rule{{
+			Head: A("out", V("X"), V("Y")),
+			Body: []Atom{A("e", V("X"), V("Y"))},
+			Neq:  [][2]Term{{V("X"), V("Y")}},
+		}},
+	}
+	s, err := p.ToAXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s.Run(core.RunOptions{}); !res.Terminated {
+		t.Fatal("did not terminate")
+	}
+	rel, err := FromAXMLDoc(s.Document(DocName("out")).Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("out = %s", relString(rel))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := Rule{
+		Head: A("p", V("X")),
+		Body: []Atom{A("q", V("X"), C("k"))},
+		Neq:  [][2]Term{{V("X"), C("z")}},
+	}
+	want := `p(X) :- q(X,"k"), X != "z"`
+	if r.String() != want {
+		t.Fatalf("String = %q, want %q", r.String(), want)
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation()
+	if !r.Add(Tuple{"a", "b"}) || r.Add(Tuple{"a", "b"}) {
+		t.Fatal("Add dedup broken")
+	}
+	if !r.Has(Tuple{"a", "b"}) || r.Has(Tuple{"b", "a"}) {
+		t.Fatal("Has broken")
+	}
+	if r.Len() != 1 {
+		t.Fatal("Len broken")
+	}
+}

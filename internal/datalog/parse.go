@@ -1,0 +1,203 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a datalog program in the conventional textual syntax:
+// clauses end with '.', '%' starts a line comment, identifiers starting
+// with an uppercase letter (or '_') are variables, everything else —
+// lowercase identifiers, numbers, or single-quoted strings — is a
+// constant. Inequalities are written X != Y.
+//
+//	edge(a, b). edge(b, c).
+//	tc(X, Y) :- edge(X, Y).
+//	tc(X, Y) :- tc(X, Z), tc(Z, Y).
+//	distinct(X, Y) :- tc(X, Y), X != Y.
+func Parse(src string) (*Program, error) {
+	p := &dlParser{src: src}
+	prog := &Program{}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) {
+			break
+		}
+		if err := p.clause(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type dlParser struct {
+	src string
+	pos int
+}
+
+func (p *dlParser) skip() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case c == '%':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *dlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *dlParser) clause(prog *Program) error {
+	head, err := p.atom()
+	if err != nil {
+		return err
+	}
+	p.skip()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "."):
+		p.pos++
+		if !head.Ground() {
+			return p.errf("fact %s is not ground", head)
+		}
+		prog.Facts = append(prog.Facts, head)
+		return nil
+	case strings.HasPrefix(p.src[p.pos:], ":-"):
+		p.pos += 2
+		rule := Rule{Head: head}
+		for {
+			p.skip()
+			// Inequality or atom?
+			save := p.pos
+			t1, err := p.term()
+			if err == nil {
+				p.skip()
+				if strings.HasPrefix(p.src[p.pos:], "!=") {
+					p.pos += 2
+					p.skip()
+					t2, err := p.term()
+					if err != nil {
+						return err
+					}
+					rule.Neq = append(rule.Neq, [2]Term{t1, t2})
+					goto next
+				}
+			}
+			p.pos = save
+			{
+				a, err := p.atom()
+				if err != nil {
+					return err
+				}
+				rule.Body = append(rule.Body, a)
+			}
+		next:
+			p.skip()
+			if strings.HasPrefix(p.src[p.pos:], ",") {
+				p.pos++
+				continue
+			}
+			if strings.HasPrefix(p.src[p.pos:], ".") {
+				p.pos++
+				prog.Rules = append(prog.Rules, rule)
+				return nil
+			}
+			return p.errf("expected ',' or '.' in rule body")
+		}
+	default:
+		return p.errf("expected '.' or ':-' after %s", head)
+	}
+}
+
+func (p *dlParser) atom() (Atom, error) {
+	p.skip()
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	if unicode.IsUpper(rune(name[0])) {
+		return Atom{}, p.errf("predicate %q must not start uppercase", name)
+	}
+	a := Atom{Pred: name}
+	p.skip()
+	if !strings.HasPrefix(p.src[p.pos:], "(") {
+		return a, nil // propositional atom
+	}
+	p.pos++
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		p.skip()
+		if strings.HasPrefix(p.src[p.pos:], ",") {
+			p.pos++
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], ")") {
+			p.pos++
+			return a, nil
+		}
+		return Atom{}, p.errf("expected ',' or ')' in atom %s", a.Pred)
+	}
+}
+
+func (p *dlParser) term() (Term, error) {
+	p.skip()
+	if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		end := strings.IndexByte(p.src[p.pos+1:], '\'')
+		if end < 0 {
+			return Term{}, p.errf("unterminated quoted constant")
+		}
+		val := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return C(val), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	r := rune(name[0])
+	if unicode.IsUpper(r) || r == '_' {
+		return V(name), nil
+	}
+	return C(name), nil
+}
+
+func (p *dlParser) ident() (string, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}

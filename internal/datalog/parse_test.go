@@ -1,0 +1,128 @@
+package datalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+)
+
+func TestParseProgram(t *testing.T) {
+	prog := MustParse(`
+% transitive closure
+edge(a, b). edge(b, c). edge(c, d).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), tc(Z, Y).
+`)
+	if len(prog.Facts) != 3 || len(prog.Rules) != 2 {
+		t.Fatalf("facts=%d rules=%d", len(prog.Facts), len(prog.Rules))
+	}
+	db, _, err := prog.SemiNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db["tc"].Len() != 6 {
+		t.Fatalf("tc = %d", db["tc"].Len())
+	}
+}
+
+func TestParseInequalityAndQuoted(t *testing.T) {
+	prog := MustParse(`
+n('1'). n('2'). n(x3).
+pair(X, Y) :- n(X), n(Y), X != Y.
+`)
+	db, _, err := prog.Naive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db["pair"].Len() != 6 {
+		t.Fatalf("pair = %s", relString(db["pair"]))
+	}
+	found := false
+	for _, tpl := range db["pair"].Tuples() {
+		if tpl[0] == "1" && tpl[1] == "x3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("quoted and bare constants did not mix")
+	}
+}
+
+func TestParsePropositionalAtoms(t *testing.T) {
+	prog := MustParse(`
+raining.
+wet :- raining.
+`)
+	db, _, err := prog.Naive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db["wet"] == nil || db["wet"].Len() != 1 {
+		t.Fatalf("wet not derived: %v", db)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`edge(X, b).`,              // non-ground fact
+		`Tc(x, y).`,                // uppercase predicate
+		`tc(X) :- edge(X, Y)`,      // missing final dot
+		`tc(X) :- .`,               // empty body item
+		`edge(a, .`,                // malformed args
+		`p('unterminated).`,        // bad quote
+		`p(X) :- q(X), X != .`,     // bad inequality
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	prog := MustParse(`
+edge(a, b).
+tc(X, Y) :- edge(X, Y), X != Y.
+`)
+	rendered := prog.Rules[0].String()
+	if !strings.Contains(rendered, "tc(X,Y)") {
+		t.Fatalf("rendered = %q", rendered)
+	}
+}
+
+// Fuzz: on random graphs, AXML fixpoints equal semi-naive datalog (E4's
+// claim beyond chains).
+func TestFuzzRandomGraphTC(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		verts := 4 + rng.Intn(5)
+		var edges [][2]string
+		for k := 0; k < verts+rng.Intn(verts); k++ {
+			edges = append(edges, [2]string{
+				nodeName(rng.Intn(verts)), nodeName(rng.Intn(verts))})
+		}
+		prog := TransitiveClosure(edges)
+		db, _, err := prog.SemiNaive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := prog.ToAXML()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := sys.Run(core.RunOptions{MaxSteps: 100000}); !res.Terminated {
+			t.Fatalf("seed %d: AXML TC did not terminate", seed)
+		}
+		rel, err := FromAXMLDoc(sys.Document(DocName("tc")).Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relString(rel) != relString(db["tc"]) {
+			t.Fatalf("seed %d: AXML %s != datalog %s", seed, relString(rel), relString(db["tc"]))
+		}
+	}
+}
+
+func nodeName(i int) string { return string(rune('a' + i)) }

@@ -1,0 +1,223 @@
+package datalog
+
+import (
+	"sort"
+	"strings"
+)
+
+// QSQ answers a single goal atom top-down with tabling, in the spirit of
+// the Query-SubQuery approach [Vieille 1986]: subgoals are adorned with
+// their bound arguments, each adorned subgoal gets a memo table, and
+// tables are filled to fixpoint on demand — only the part of the fixpoint
+// relevant to the goal is computed, which is the datalog face of the
+// paper's lazy query evaluation (Section 4 and the companion work).
+//
+// The returned relation holds the goal predicate's matching tuples. Stats
+// count the adorned subgoals opened and the derivations performed, to be
+// compared against bottom-up evaluation in the benchmarks.
+func (p *Program) QSQ(goal Atom) (*Relation, QSQStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, QSQStats{}, err
+	}
+	e := &qsqEngine{
+		prog:   p,
+		edb:    p.edb(),
+		tables: map[string]*Relation{},
+		active: map[string]bool{},
+	}
+	// Iterate the whole demand-driven computation to fixpoint: recursive
+	// subgoals may need several passes for their tables to saturate.
+	for {
+		e.changed = false
+		e.answer(goal)
+		e.stats.Passes++
+		if !e.changed {
+			break
+		}
+	}
+	out := NewRelation()
+	for _, t := range e.table(goal).Tuples() {
+		if matchesGoal(goal, t) {
+			out.Add(t)
+		}
+	}
+	return out, e.stats, nil
+}
+
+// QSQStats reports the effort of a QSQ evaluation.
+type QSQStats struct {
+	// Subgoals counts distinct adorned subgoals opened.
+	Subgoals int
+	// Derivations counts rule firings.
+	Derivations int
+	// Passes counts outer fixpoint passes.
+	Passes int
+}
+
+type qsqEngine struct {
+	prog    *Program
+	edb     DB
+	tables  map[string]*Relation // adorned subgoal -> answers
+	active  map[string]bool      // cycle guard within one pass
+	stats   QSQStats
+	changed bool
+}
+
+// adornment renders the subgoal key: predicate plus bound constants.
+func adornment(goal Atom) string {
+	parts := make([]string, 0, len(goal.Args)+1)
+	parts = append(parts, goal.Pred)
+	for _, a := range goal.Args {
+		if a.IsVar() {
+			parts = append(parts, "_")
+		} else {
+			parts = append(parts, "="+a.Const)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+func (e *qsqEngine) table(goal Atom) *Relation {
+	k := adornment(goal)
+	t, ok := e.tables[k]
+	if !ok {
+		t = NewRelation()
+		e.tables[k] = t
+		e.stats.Subgoals++
+	}
+	return t
+}
+
+// answer fills the table for the goal (and its subgoals, recursively).
+func (e *qsqEngine) answer(goal Atom) {
+	k := adornment(goal)
+	tbl := e.table(goal)
+	if e.active[k] {
+		return // recursive re-entry: use what the table has so far
+	}
+	e.active[k] = true
+	defer delete(e.active, k)
+
+	// EDB contribution.
+	if rel := e.edb[goal.Pred]; rel != nil {
+		for _, t := range rel.Tuples() {
+			if matchesGoal(goal, t) && tbl.Add(t) {
+				e.changed = true
+			}
+		}
+	}
+	// IDB rules with this head predicate.
+	for _, r := range e.prog.Rules {
+		if r.Head.Pred != goal.Pred {
+			continue
+		}
+		e.fireTopDown(r, goal, tbl)
+	}
+}
+
+// fireTopDown evaluates one rule under the goal's bindings, issuing
+// subqueries for body atoms with bindings pushed sideways.
+func (e *qsqEngine) fireTopDown(r Rule, goal Atom, tbl *Relation) {
+	binding := map[string]string{}
+	// Push the goal's constants into the head variables.
+	for i, a := range r.Head.Args {
+		if i >= len(goal.Args) || goal.Args[i].IsVar() {
+			continue
+		}
+		if a.IsVar() {
+			if v, ok := binding[a.Var]; ok && v != goal.Args[i].Const {
+				return
+			}
+			binding[a.Var] = goal.Args[i].Const
+		} else if a.Const != goal.Args[i].Const {
+			return
+		}
+	}
+	var rec func(i int, binding map[string]string)
+	rec = func(i int, binding map[string]string) {
+		if i == len(r.Body) {
+			for _, eIneq := range r.Neq {
+				if resolve(eIneq[0], binding) == resolve(eIneq[1], binding) {
+					return
+				}
+			}
+			t := make(Tuple, len(r.Head.Args))
+			for j, a := range r.Head.Args {
+				t[j] = resolve(a, binding)
+			}
+			e.stats.Derivations++
+			if tbl.Add(t) {
+				e.changed = true
+			}
+			return
+		}
+		// Build the subgoal with current bindings pushed in.
+		sub := Atom{Pred: r.Body[i].Pred, Args: make([]Term, len(r.Body[i].Args))}
+		for j, a := range r.Body[i].Args {
+			if a.IsVar() {
+				if v, ok := binding[a.Var]; ok {
+					sub.Args[j] = C(v)
+				} else {
+					sub.Args[j] = a
+				}
+			} else {
+				sub.Args[j] = a
+			}
+		}
+		e.answer(sub)
+		for _, tpl := range e.table(sub).Tuples() {
+			if !matchesGoal(sub, tpl) {
+				continue
+			}
+			nb := copyBinding(binding)
+			ok := true
+			for j, a := range r.Body[i].Args {
+				if a.IsVar() {
+					if v, bound := nb[a.Var]; bound {
+						if v != tpl[j] {
+							ok = false
+							break
+						}
+					} else {
+						nb[a.Var] = tpl[j]
+					}
+				}
+			}
+			if ok {
+				rec(i+1, nb)
+			}
+		}
+	}
+	rec(0, binding)
+}
+
+func matchesGoal(goal Atom, t Tuple) bool {
+	if len(goal.Args) != len(t) {
+		return false
+	}
+	seen := map[string]string{}
+	for i, a := range goal.Args {
+		if a.IsVar() {
+			if prev, ok := seen[a.Var]; ok && prev != t[i] {
+				return false
+			}
+			seen[a.Var] = t[i]
+			continue
+		}
+		if a.Const != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TableSummary lists the adorned tables and their sizes, sorted, for
+// inspection in tests and benchmarks.
+func (e *qsqEngine) TableSummary() []string {
+	var keys []string
+	for k := range e.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,183 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"axml/internal/core"
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/tree"
+)
+
+// ToAXML translates the program into a simple positive AXML system,
+// generalizing Example 3.2. Each predicate p gets a document named
+// "rel-p" whose root is p{...}; a tuple (v1..vk) is the tree
+// t{c1{"v1"},...,ck{"vk"}} (positional columns — the paper writes t{x,y},
+// but unordered children require named positions). EDB facts are loaded
+// directly; each rule becomes a positive service whose call sits in the
+// head predicate's document. The resulting system is simple: variables
+// range over values only.
+//
+// Running the system to termination makes each document hold exactly the
+// program's fixpoint, which the tests cross-check against SemiNaive.
+func (p *Program) ToAXML() (*core.System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := core.NewSystem()
+	// Collect predicates and arities.
+	arity := map[string]int{}
+	note := func(a Atom) { arity[a.Pred] = len(a.Args) }
+	for _, f := range p.Facts {
+		note(f)
+	}
+	for _, r := range p.Rules {
+		note(r.Head)
+		for _, b := range r.Body {
+			note(b)
+		}
+	}
+	preds := make([]string, 0, len(arity))
+	for pred := range arity {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+
+	// Rules become services; calls live in their head predicate's doc.
+	callsPerPred := map[string][]string{}
+	var queries []*query.Query
+	for i, r := range p.Rules {
+		name := fmt.Sprintf("rule%d", i)
+		q, err := ruleQuery(name, r)
+		if err != nil {
+			return nil, err
+		}
+		queries = append(queries, q)
+		callsPerPred[r.Head.Pred] = append(callsPerPred[r.Head.Pred], name)
+	}
+
+	for _, pred := range preds {
+		root := tree.NewLabel(pred)
+		for _, f := range p.Facts {
+			if f.Pred != pred {
+				continue
+			}
+			root.Children = append(root.Children, tupleTree(f))
+		}
+		for _, call := range callsPerPred[pred] {
+			root.Children = append(root.Children, tree.NewFunc(call))
+		}
+		if err := s.AddDocument(tree.NewDocument(DocName(pred), root)); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range queries {
+		if err := s.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DocName returns the document name encoding predicate pred.
+func DocName(pred string) string { return "rel-" + pred }
+
+func colName(i int) string { return fmt.Sprintf("c%d", i+1) }
+
+func tupleTree(f Atom) *tree.Node {
+	t := tree.NewLabel("t")
+	for i, a := range f.Args {
+		t.Children = append(t.Children, tree.NewLabel(colName(i), tree.NewValue(a.Const)))
+	}
+	return t
+}
+
+// ruleQuery builds the positive query for one datalog rule.
+func ruleQuery(name string, r Rule) (*query.Query, error) {
+	head := pattern.Label("t")
+	for i, a := range r.Head.Args {
+		head.Children = append(head.Children, pattern.Label(colName(i), termPattern(a)))
+	}
+	q := &query.Query{Name: name, Head: head}
+	for _, b := range r.Body {
+		bp := pattern.Label(b.Pred)
+		tp := pattern.Label("t")
+		for i, a := range b.Args {
+			tp.Children = append(tp.Children, pattern.Label(colName(i), termPattern(a)))
+		}
+		bp.Children = append(bp.Children, tp)
+		q.Body = append(q.Body, query.Atom{Doc: DocName(b.Pred), Pattern: bp})
+	}
+	for _, e := range r.Neq {
+		q.Ineqs = append(q.Ineqs, query.Ineq{Left: ineqTerm(e[0]), Right: ineqTerm(e[1])})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func termPattern(t Term) *pattern.Node {
+	if t.IsVar() {
+		return pattern.VVar(t.Var)
+	}
+	return pattern.Value(t.Const)
+}
+
+func ineqTerm(t Term) query.Term {
+	if t.IsVar() {
+		return query.Variable(t.Var)
+	}
+	return query.Constant(t.Const)
+}
+
+// FromAXMLDoc reads back the relation encoded in an AXML document
+// produced by ToAXML (after running the system).
+func FromAXMLDoc(root *tree.Node) (*Relation, error) {
+	rel := NewRelation()
+	for _, c := range root.Children {
+		if c.Kind != tree.Label || c.Name != "t" {
+			continue
+		}
+		cols := map[int]string{}
+		maxCol := 0
+		for _, col := range c.Children {
+			var idx int
+			if _, err := fmt.Sscanf(col.Name, "c%d", &idx); err != nil {
+				return nil, fmt.Errorf("datalog: bad column %q", col.Name)
+			}
+			if len(col.Children) != 1 {
+				return nil, fmt.Errorf("datalog: column %q without value", col.Name)
+			}
+			cols[idx] = col.Children[0].Name
+			if idx > maxCol {
+				maxCol = idx
+			}
+		}
+		t := make(Tuple, maxCol)
+		for i := 1; i <= maxCol; i++ {
+			t[i-1] = cols[i]
+		}
+		rel.Add(t)
+	}
+	return rel, nil
+}
+
+// TransitiveClosure returns the TC program over edge/2 into tc/2, the
+// paper's running datalog example.
+func TransitiveClosure(edges [][2]string) *Program {
+	p := &Program{
+		Rules: []Rule{
+			{Head: A("tc", V("X"), V("Y")), Body: []Atom{A("edge", V("X"), V("Y"))}},
+			{Head: A("tc", V("X"), V("Y")), Body: []Atom{A("tc", V("X"), V("Z")), A("tc", V("Z"), V("Y"))}},
+		},
+	}
+	for _, e := range edges {
+		p.Facts = append(p.Facts, A("edge", C(e[0]), C(e[1])))
+	}
+	return p
+}

@@ -1,0 +1,89 @@
+package lazy
+
+import (
+	"fmt"
+
+	"axml/internal/core"
+	"axml/internal/query"
+	"axml/internal/regular"
+	"axml/internal/tree"
+)
+
+// PossibleAnswerExact decides, for a simple positive system and a simple
+// query with a call-free head, whether the forest alpha is a possible
+// answer to q (Definition in Section 4: [alpha] ≡ [[q](I)]) — the
+// decidable branch of Theorem 4.1(i). Alpha's trees may contain calls to
+// the system's services (intensional answers); both sides are compared on
+// their data content, the information calls eventually materialize.
+//
+// The decision builds the finite graph representation of the system
+// extended with alpha, projects call nodes away, and compares by
+// simulation in both directions, so it is exact even when alpha's
+// expansion is infinite.
+func PossibleAnswerExact(s *core.System, q *query.Query, alpha tree.Forest) (bool, error) {
+	if err := exactPreconditions(s, q); err != nil {
+		return false, err
+	}
+	// [q](I) — finite, call-free data trees by precondition.
+	full, err := regular.Build(s, regular.BuildOptions{})
+	if err != nil {
+		return false, err
+	}
+	want, err := full.SnapshotQuery(q)
+	if err != nil {
+		return false, err
+	}
+
+	// [alpha]: extend the system with alpha under a fresh wrapper
+	// document and rebuild the graph.
+	ext := s.Copy()
+	wrap := tree.NewLabel("possible-answer-root")
+	for _, t := range alpha {
+		wrap.Children = append(wrap.Children, t.Copy())
+	}
+	const wrapDoc = "possible-answer"
+	if err := ext.AddDocument(tree.NewDocument(wrapDoc, wrap)); err != nil {
+		return false, err
+	}
+	extGraph, err := regular.Build(ext, regular.BuildOptions{})
+	if err != nil {
+		return false, err
+	}
+	alphaChildren := regular.ProjectData(extGraph.Roots[wrapDoc]).Children
+
+	// Forest equivalence by simulation, both directions.
+	for _, t := range want {
+		found := false
+		for _, c := range alphaChildren {
+			if regular.SimulatesTree(t, c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	for _, c := range alphaChildren {
+		found := false
+		for _, t := range want {
+			if regular.SimulatedByTree(c, t) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// QFiniteExact decides q-finiteness over a simple positive system for an
+// arbitrary query (Proposition 3.2(3)); see regular.QFinite.
+func QFiniteExact(s *core.System, q *query.Query) (bool, tree.Forest, error) {
+	if !s.IsSimple() {
+		return false, nil, fmt.Errorf("lazy: q-finiteness is undecidable for non-simple systems (Prop 3.2(1)); use core.System.QFinite for the budgeted semi-decision")
+	}
+	return regular.QFinite(s, q)
+}

@@ -1,0 +1,142 @@
+package lazy
+
+import (
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// Theorem 4.1(2): possible answers are decidable for simple systems. The
+// jazz scenario of Section 4: both the materialized rating and the
+// intensional call are possible answers.
+func TestPossibleAnswerExactJazz(t *testing.T) {
+	s := core.MustParseSystem(`
+doc ratings = db{entry{title{"Body and Soul"},stars{"4"}}}
+doc portal = directory{cd{title{"Body and Soul"},!GetRating}}
+func GetRating = rating{$s} :- context/cd{title{$t}}, ratings/db{entry{title{$t},stars{$s}}}
+`)
+	q := syntax.MustParseQuery(
+		`rating{$s} :- portal/directory{cd{title{"Body and Soul"},rating{$s}}}`)
+
+	materialized := tree.Forest{syntax.MustParseDocument(`rating{"4"}`)}
+	ok, err := PossibleAnswerExact(s, q, materialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("materialized rating rejected")
+	}
+
+	// The intensional answer delegates the call. Wrapped in a cd with
+	// the right title so GetRating's context query finds its join key.
+	intensional := tree.Forest{syntax.MustParseDocument(`rating{"4",!GetRating}`)}
+	ok, err = PossibleAnswerExact(s, q, intensional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("intensional-but-equivalent answer rejected")
+	}
+
+	wrong := tree.Forest{syntax.MustParseDocument(`rating{"5"}`)}
+	ok, err = PossibleAnswerExact(s, q, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("wrong rating accepted")
+	}
+
+	tooMuch := tree.Forest{
+		syntax.MustParseDocument(`rating{"4"}`),
+		syntax.MustParseDocument(`rating{"9"}`),
+	}
+	ok, err = PossibleAnswerExact(s, q, tooMuch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("answer with extra information accepted")
+	}
+}
+
+// An intensional answer whose expansion brings exactly the needed data is
+// accepted even though it looks nothing like the materialized form.
+func TestPossibleAnswerExactIntensionalExpansion(t *testing.T) {
+	s := core.MustParseSystem(`
+doc src = r{v{"1"},v{"2"}}
+doc d = top{!fill}
+func fill = out{$x} :- src/r{v{$x}}
+`)
+	q := syntax.MustParseQuery(`out{$x} :- d/top{out{$x}}`)
+	// The call !fill reads src directly (not context), so placed
+	// anywhere it expands to out{1}, out{2}.
+	intensional := tree.Forest{syntax.MustParseDocument(`holder{!fill}`)}
+	// [q](I) = {out{1}, out{2}} but alpha's data content is
+	// holder{out{1},out{2}} — a different shape: NOT a possible answer.
+	ok, err := PossibleAnswerExact(s, q, intensional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("wrapped answer accepted despite different shape")
+	}
+	// The forest {out{1}, out{2}} is.
+	direct := tree.Forest{
+		syntax.MustParseDocument(`out{"1"}`),
+		syntax.MustParseDocument(`out{"2"}`),
+	}
+	ok, err = PossibleAnswerExact(s, q, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("exact forest rejected")
+	}
+}
+
+// An answer with an infinite expansion cannot equal a finite result.
+func TestPossibleAnswerExactInfiniteAlpha(t *testing.T) {
+	s := core.MustParseSystem(`
+doc d = top{data{"x"},!noise}
+func noise = data{"x"} :- context/top
+`)
+	q := syntax.MustParseQuery(`out{$v} :- d/top{data{$v}}`)
+	// alpha embeds an ever-growing call: out{x, grow{grow{...}}}.
+	grow := core.MustParseSystem(`
+doc d = top{data{"x"},!noise}
+func noise = data{"x"} :- context/top
+`)
+	_ = grow
+	sGrow := core.MustParseSystem(`
+doc d = top{data{"x"}}
+func Grow = g{!Grow} :-
+`)
+	alpha := tree.Forest{syntax.MustParseDocument(`out{"x",!Grow}`)}
+	ok, err := PossibleAnswerExact(sGrow, syntax.MustParseQuery(`out{$v} :- d/top{data{$v}}`), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("infinitely expanding answer accepted against a finite result")
+	}
+	_ = s
+	_ = q
+}
+
+func TestQFiniteExactFacade(t *testing.T) {
+	s := core.MustParseSystem("doc d = a{!f}\nfunc f = a{!f} :- ")
+	fin, _, err := QFiniteExact(s, syntax.MustParseQuery(`out{#T} :- d/a{#T}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin {
+		t.Fatal("infinite copy query reported finite")
+	}
+	nonSimple := core.MustParseSystem("doc d = a{a{b},!g}\nfunc g = a{a{#X}} :- context/a{a{#X}}")
+	if _, _, err := QFiniteExact(nonSimple, syntax.MustParseQuery(`out :- d/a`)); err == nil {
+		t.Fatal("non-simple system accepted")
+	}
+}

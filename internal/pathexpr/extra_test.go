@@ -1,0 +1,112 @@
+package pathexpr
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/syntax"
+)
+
+func TestRPatternParseErrors(t *testing.T) {
+	bad := []string{
+		``, `a{`, `a{b`, `<`, `<a`, `<a|>{x}`, `a{$}`, `"unterminated`,
+		`a{b,}`,
+	}
+	for _, src := range bad {
+		if _, err := ParseRPattern(src); err == nil {
+			t.Errorf("ParseRPattern(%q) accepted", src)
+		}
+	}
+}
+
+func TestRQueryParseErrors(t *testing.T) {
+	bad := []string{
+		``, `out`, `out :- d`, `out :- /a`, `out :- d/a{`,
+		`out :- $x !=`, `out :- d/a, $x != #T`,
+	}
+	for _, src := range bad {
+		if _, err := ParseRQuery(src); err == nil {
+			t.Errorf("ParseRQuery(%q) accepted", src)
+		}
+	}
+}
+
+func TestRQueryStringRendering(t *testing.T) {
+	q := MustParseRQuery(`out{$t} :- d/a{<(b|c)*.d>{$t}}, $t != "x"`)
+	s := q.String()
+	if !strings.Contains(s, "<(b|c)*.d>") {
+		t.Fatalf("String = %q", s)
+	}
+	back, err := ParseRQuery(s)
+	if err != nil {
+		t.Fatalf("String output not re-parseable: %v (%q)", err, s)
+	}
+	if back.String() != s {
+		t.Fatalf("unstable: %q vs %q", back.String(), s)
+	}
+}
+
+func TestNFAStringAndTransitions(t *testing.T) {
+	n := CompileRegex(MustParseRegex(`a._`))
+	out := n.String()
+	if !strings.Contains(out, "start=") || !strings.Contains(out, "-a->") || !strings.Contains(out, "-_->") {
+		t.Fatalf("NFA.String = %q", out)
+	}
+	wild := 0
+	for _, tr := range n.AllTransitions() {
+		if tr.Label == "" {
+			wild++
+		}
+	}
+	if wild == 0 {
+		t.Fatal("wildcard transition missing")
+	}
+	if n.AcceptsEmpty() {
+		t.Fatal("a._ should not accept the empty word")
+	}
+	if !CompileRegex(MustParseRegex(`a*`)).AcceptsEmpty() {
+		t.Fatal("a* should accept the empty word")
+	}
+}
+
+func TestRNodeVarsConflict(t *testing.T) {
+	n := MustParseRPattern(`a{$x,%x}`)
+	if err := n.Vars(map[string]pattern.Kind{}); err == nil {
+		t.Fatal("kind conflict not detected")
+	}
+}
+
+func TestSnapshotMissingDocAndIneq(t *testing.T) {
+	q := MustParseRQuery(`out{$t} :- nowhere/a{<b>{$t}}`)
+	got, err := Snapshot(q, query.Docs{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing doc: %v %v", got, err)
+	}
+	q2 := MustParseRQuery(`out{$t} :- d/a{<b>{$t}}, $t != "1"`)
+	docs := query.Docs{"d": syntax.MustParseDocument(`a{b{"1"},b{"2"}}`)}
+	got, err = Snapshot(q2, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Children[0].Name != "2" {
+		t.Fatalf("ineq filtering: %s", got.CanonicalString())
+	}
+}
+
+func TestEvalFullBudgeted(t *testing.T) {
+	s := core.MustParseSystem("doc d = a{!f}\nfunc f = b{!f} :- ")
+	rq := MustParseRQuery(`out :- d/a{<b.b.b>}`)
+	ans, exact, err := EvalFull(s, rq, core.RunOptions{MaxSteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("infinite system reported exact")
+	}
+	if len(ans) != 1 {
+		t.Fatalf("budgeted answer: %s", ans.CanonicalString())
+	}
+}

@@ -1,0 +1,234 @@
+package pathexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NFA is an ε-free nondeterministic finite automaton over labels, with an
+// optional wildcard transition per state pair. It is the operational form
+// of a Regex: CompileRegex builds a Thompson ε-NFA and eliminates the ε
+// moves.
+type NFA struct {
+	// Start is the initial state.
+	Start int
+	// NumStates is the number of states, numbered 0..NumStates-1.
+	NumStates int
+	// Finals marks accepting states.
+	Finals map[int]bool
+	// Label transitions: Trans[q][label] = successor states.
+	Trans []map[string][]int
+	// Wild transitions: Wild[q] = successors reachable by reading any
+	// label (from the '_' wildcard).
+	Wild [][]int
+}
+
+// AcceptsEmpty reports whether the empty word is in the language.
+func (n *NFA) AcceptsEmpty() bool { return n.Finals[n.Start] }
+
+// Step returns the successor set of state q on the given label.
+func (n *NFA) Step(q int, label string) []int {
+	out := append([]int(nil), n.Trans[q][label]...)
+	out = append(out, n.Wild[q]...)
+	return out
+}
+
+// StepSet advances a state set on a label.
+func (n *NFA) StepSet(states map[int]bool, label string) map[int]bool {
+	next := map[int]bool{}
+	for q := range states {
+		for _, p := range n.Step(q, label) {
+			next[p] = true
+		}
+	}
+	return next
+}
+
+// AnyFinal reports whether the state set contains an accepting state.
+func (n *NFA) AnyFinal(states map[int]bool) bool {
+	for q := range states {
+		if n.Finals[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Transitions enumerates all label transitions (q, label, p) plus wildcard
+// transitions reported with label "" — the form the ψ translation
+// consumes.
+type Transition struct {
+	From  int
+	Label string // "" means wildcard (any label)
+	To    int
+}
+
+// AllTransitions lists every transition, deterministically ordered.
+func (n *NFA) AllTransitions() []Transition {
+	var out []Transition
+	for q := 0; q < n.NumStates; q++ {
+		labels := make([]string, 0, len(n.Trans[q]))
+		for l := range n.Trans[q] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			for _, p := range n.Trans[q][l] {
+				out = append(out, Transition{From: q, Label: l, To: p})
+			}
+		}
+		for _, p := range n.Wild[q] {
+			out = append(out, Transition{From: q, Label: "", To: p})
+		}
+	}
+	return out
+}
+
+// String renders the automaton for debugging.
+func (n *NFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=%d finals=", n.Start)
+	var fs []int
+	for f := range n.Finals {
+		fs = append(fs, f)
+	}
+	sort.Ints(fs)
+	fmt.Fprintf(&b, "%v\n", fs)
+	for _, t := range n.AllTransitions() {
+		l := t.Label
+		if l == "" {
+			l = "_"
+		}
+		fmt.Fprintf(&b, "%d -%s-> %d\n", t.From, l, t.To)
+	}
+	return b.String()
+}
+
+// epsNFA is the intermediate Thompson automaton.
+type epsNFA struct {
+	n     int
+	label []map[string][]int
+	wild  [][]int
+	eps   [][]int
+}
+
+func (e *epsNFA) newState() int {
+	e.n++
+	e.label = append(e.label, map[string][]int{})
+	e.wild = append(e.wild, nil)
+	e.eps = append(e.eps, nil)
+	return e.n - 1
+}
+
+// build returns (start, end) fragment states for r; end is a fresh state
+// with no outgoing edges inside the fragment.
+func (e *epsNFA) build(r Regex) (int, int) {
+	switch r := r.(type) {
+	case Atom:
+		s, t := e.newState(), e.newState()
+		e.label[s][r.Label] = append(e.label[s][r.Label], t)
+		return s, t
+	case Any:
+		s, t := e.newState(), e.newState()
+		e.wild[s] = append(e.wild[s], t)
+		return s, t
+	case Concat:
+		s, t := e.build(r.Parts[0])
+		for _, part := range r.Parts[1:] {
+			ps, pt := e.build(part)
+			e.eps[t] = append(e.eps[t], ps)
+			t = pt
+		}
+		return s, t
+	case AltExpr:
+		s, t := e.newState(), e.newState()
+		for _, br := range r.Branches {
+			bs, bt := e.build(br)
+			e.eps[s] = append(e.eps[s], bs)
+			e.eps[bt] = append(e.eps[bt], t)
+		}
+		return s, t
+	case Star:
+		s, t := e.newState(), e.newState()
+		is, it := e.build(r.Inner)
+		e.eps[s] = append(e.eps[s], is, t)
+		e.eps[it] = append(e.eps[it], is, t)
+		return s, t
+	case PlusExpr:
+		is, it := e.build(r.Inner)
+		e.eps[it] = append(e.eps[it], is)
+		return is, it
+	case Opt:
+		s, t := e.newState(), e.newState()
+		is, it := e.build(r.Inner)
+		e.eps[s] = append(e.eps[s], is, t)
+		e.eps[it] = append(e.eps[it], t)
+		return s, t
+	default:
+		panic(fmt.Sprintf("pathexpr: unknown regex node %T", r))
+	}
+}
+
+func (e *epsNFA) closure(q int) []int {
+	seen := map[int]bool{q: true}
+	stack := []int{q}
+	var out []int
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, x)
+		for _, y := range e.eps[x] {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CompileRegex compiles a regex into an ε-free NFA.
+func CompileRegex(r Regex) *NFA {
+	e := &epsNFA{}
+	start, end := e.build(r)
+	n := &NFA{
+		Start:     start,
+		NumStates: e.n,
+		Finals:    map[int]bool{},
+		Trans:     make([]map[string][]int, e.n),
+		Wild:      make([][]int, e.n),
+	}
+	for q := 0; q < e.n; q++ {
+		n.Trans[q] = map[string][]int{}
+		cl := e.closure(q)
+		for _, x := range cl {
+			if x == end {
+				n.Finals[q] = true
+			}
+			for label, tos := range e.label[x] {
+				n.Trans[q][label] = appendUnique(n.Trans[q][label], tos...)
+			}
+			n.Wild[q] = appendUnique(n.Wild[q], e.wild[x]...)
+		}
+	}
+	return n
+}
+
+func appendUnique(dst []int, xs ...int) []int {
+	for _, x := range xs {
+		dup := false
+		for _, y := range dst {
+			if x == y {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, x)
+		}
+	}
+	sort.Ints(dst)
+	return dst
+}

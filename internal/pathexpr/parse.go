@@ -1,0 +1,285 @@
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"axml/internal/pattern"
+	"axml/internal/query"
+)
+
+// ParseRPattern parses a positive+reg pattern. The syntax extends the
+// plain pattern syntax with path nodes written <regex>:
+//
+//	portal{<(section|sub)*.cd>{title{$t}}}
+func ParseRPattern(src string) (*RNode, error) {
+	p := &rqParser{src: src}
+	n, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pathexpr: trailing input at %d in %q", p.pos, src)
+	}
+	return n, nil
+}
+
+// MustParseRPattern is ParseRPattern panicking on error.
+func MustParseRPattern(src string) *RNode {
+	n, err := ParseRPattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParseRQuery parses a positive+reg query "head :- body" where the head is
+// a plain pattern and body atoms may use path nodes.
+func ParseRQuery(src string) (*RQuery, error) {
+	p := &rqParser{src: src}
+	headNode, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	head, err := headNode.ToPattern()
+	if err != nil {
+		return nil, fmt.Errorf("pathexpr: path nodes are not allowed in query heads: %w", err)
+	}
+	p.skip()
+	if !strings.HasPrefix(p.src[p.pos:], ":-") {
+		return nil, fmt.Errorf("pathexpr: expected ':-' at %d in %q", p.pos, src)
+	}
+	p.pos += 2
+	q := &RQuery{Head: head}
+	p.skip()
+	for p.pos < len(p.src) {
+		if err := p.bodyItem(q); err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			p.skip()
+			continue
+		}
+		break
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseRQuery is ParseRQuery panicking on error.
+func MustParseRQuery(src string) *RQuery {
+	q, err := ParseRQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type rqParser struct {
+	src string
+	pos int
+}
+
+func (p *rqParser) skip() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (p *rqParser) peek() byte {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *rqParser) ident() (string, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.') {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("pathexpr: expected identifier at %d in %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *rqParser) quoted() (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return b.String(), nil
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return "", fmt.Errorf("pathexpr: unterminated escape")
+			}
+			b.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", fmt.Errorf("pathexpr: unterminated string")
+}
+
+func (p *rqParser) pattern() (*RNode, error) {
+	var n *RNode
+	switch c := p.peek(); {
+	case c == '<':
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("pathexpr: missing '>' for path node at %d", p.pos)
+		}
+		expr, err := ParseRegex(p.src[p.pos : p.pos+end])
+		if err != nil {
+			return nil, err
+		}
+		p.pos += end + 1
+		n = PathNode(expr)
+	case c == '"':
+		s, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		return &RNode{Kind: pattern.ConstValue, Name: s}, nil
+	case c == '!':
+		p.pos++
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		n = &RNode{Kind: pattern.ConstFunc, Name: id}
+	case c == '%' || c == '$' || c == '^' || c == '#':
+		p.pos++
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var k pattern.Kind
+		switch c {
+		case '%':
+			k = pattern.VarLabel
+		case '$':
+			k = pattern.VarValue
+		case '^':
+			k = pattern.VarFunc
+		default:
+			k = pattern.VarTree
+		}
+		n = &RNode{Kind: k, Name: id}
+	case c >= '0' && c <= '9' || c == '-':
+		start := p.pos
+		if c == '-' {
+			p.pos++
+		}
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		return &RNode{Kind: pattern.ConstValue, Name: p.src[start:p.pos]}, nil
+	default:
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		n = &RNode{Kind: pattern.ConstLabel, Name: id}
+	}
+	if p.peek() == '{' {
+		p.pos++
+		for {
+			c, err := p.pattern()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.peek() != '}' {
+			return nil, fmt.Errorf("pathexpr: missing '}' at %d in %q", p.pos, p.src)
+		}
+		p.pos++
+	}
+	return n, nil
+}
+
+// bodyItem parses an atom doc/rpattern or an inequality.
+func (p *rqParser) bodyItem(q *RQuery) error {
+	c := p.peek()
+	if c == '%' || c == '$' || c == '^' || c == '"' {
+		left, err := p.ineqTerm()
+		if err != nil {
+			return err
+		}
+		p.skip()
+		if !strings.HasPrefix(p.src[p.pos:], "!=") {
+			return fmt.Errorf("pathexpr: expected '!=' at %d", p.pos)
+		}
+		p.pos += 2
+		right, err := p.ineqTerm()
+		if err != nil {
+			return err
+		}
+		q.Ineqs = append(q.Ineqs, query.Ineq{Left: left, Right: right})
+		return nil
+	}
+	doc, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.peek() != '/' {
+		return fmt.Errorf("pathexpr: expected '/' after document name %q at %d", doc, p.pos)
+	}
+	p.pos++
+	pat, err := p.pattern()
+	if err != nil {
+		return err
+	}
+	q.Body = append(q.Body, RAtom{Doc: doc, Pattern: pat})
+	return nil
+}
+
+func (p *rqParser) ineqTerm() (query.Term, error) {
+	switch c := p.peek(); c {
+	case '"':
+		s, err := p.quoted()
+		if err != nil {
+			return query.Term{}, err
+		}
+		return query.Constant(s), nil
+	case '%', '$', '^':
+		p.pos++
+		id, err := p.ident()
+		if err != nil {
+			return query.Term{}, err
+		}
+		return query.Variable(id), nil
+	default:
+		return query.Term{}, fmt.Errorf("pathexpr: bad inequality term at %d", p.pos)
+	}
+}

@@ -1,0 +1,247 @@
+// Package pathexpr implements the regular-path-expression extension of
+// Section 5: positive+reg tree patterns, where a pattern edge may carry a
+// regular expression over labels instead of a single label; direct
+// evaluation by NFA product with the document tree; and the ψ translation
+// of Proposition 5.1, which compiles a positive+reg query over a positive
+// system into a plain positive query over a plain positive system — in
+// polynomial time, preserving simplicity, query results and stability.
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Regex is the AST of a regular expression over labels.
+//
+// Concrete syntax: labels are identifiers, '_' matches any label, '.' is
+// concatenation, '|' alternation, '*' '+' '?' the usual postfix
+// quantifiers, parentheses group:
+//
+//	section.(sub|_)*.title
+type Regex interface {
+	String() string
+	regexNode()
+}
+
+// Atom matches exactly one edge whose target is a data node labeled Label.
+type Atom struct{ Label string }
+
+// Any matches one edge to a data node with any label.
+type Any struct{}
+
+// Concat matches the concatenation of its parts.
+type Concat struct{ Parts []Regex }
+
+// AltExpr matches any one of its branches.
+type AltExpr struct{ Branches []Regex }
+
+// Star matches zero or more repetitions.
+type Star struct{ Inner Regex }
+
+// PlusExpr matches one or more repetitions.
+type PlusExpr struct{ Inner Regex }
+
+// Opt matches zero or one occurrence.
+type Opt struct{ Inner Regex }
+
+func (Atom) regexNode()     {}
+func (Any) regexNode()      {}
+func (Concat) regexNode()   {}
+func (AltExpr) regexNode()  {}
+func (Star) regexNode()     {}
+func (PlusExpr) regexNode() {}
+func (Opt) regexNode()      {}
+
+// String renders the atom.
+func (a Atom) String() string { return a.Label }
+
+// String renders the wildcard.
+func (Any) String() string { return "_" }
+
+// String renders the concatenation.
+func (c Concat) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = maybeParen(p, precConcat)
+	}
+	return strings.Join(parts, ".")
+}
+
+// String renders the alternation.
+func (a AltExpr) String() string {
+	parts := make([]string, len(a.Branches))
+	for i, p := range a.Branches {
+		parts[i] = maybeParen(p, precAlt)
+	}
+	return strings.Join(parts, "|")
+}
+
+// String renders the starred expression.
+func (s Star) String() string { return maybeParen(s.Inner, precPostfix) + "*" }
+
+// String renders the plus expression.
+func (p PlusExpr) String() string { return maybeParen(p.Inner, precPostfix) + "+" }
+
+// String renders the optional expression.
+func (o Opt) String() string { return maybeParen(o.Inner, precPostfix) + "?" }
+
+const (
+	precAlt = iota
+	precConcat
+	precPostfix
+)
+
+func prec(r Regex) int {
+	switch r.(type) {
+	case AltExpr:
+		return precAlt
+	case Concat:
+		return precConcat
+	default:
+		return precPostfix
+	}
+}
+
+func maybeParen(r Regex, min int) string {
+	if prec(r) < min {
+		return "(" + r.String() + ")"
+	}
+	return r.String()
+}
+
+// ParseRegex parses the concrete regex syntax.
+func ParseRegex(src string) (Regex, error) {
+	p := &reParser{src: src}
+	r, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pathexpr: trailing input at %d in %q", p.pos, src)
+	}
+	return r, nil
+}
+
+// MustParseRegex is ParseRegex panicking on error.
+func MustParseRegex(src string) Regex {
+	r, err := ParseRegex(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type reParser struct {
+	src string
+	pos int
+}
+
+func (p *reParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *reParser) peek() byte {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *reParser) alt() (Regex, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	branches := []Regex{first}
+	for p.peek() == '|' {
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, next)
+	}
+	if len(branches) == 1 {
+		return first, nil
+	}
+	return AltExpr{Branches: branches}, nil
+}
+
+func (p *reParser) concat() (Regex, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Regex{first}
+	for p.peek() == '.' {
+		p.pos++
+		next, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+func (p *reParser) postfix() (Regex, error) {
+	r, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r = Star{Inner: r}
+		case '+':
+			p.pos++
+			r = PlusExpr{Inner: r}
+		case '?':
+			p.pos++
+			r = Opt{Inner: r}
+		default:
+			return r, nil
+		}
+	}
+}
+
+func (p *reParser) primary() (Regex, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		r, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("pathexpr: missing ')' at %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		return r, nil
+	case c == '_':
+		p.pos++
+		return Any{}, nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := p.pos
+		for p.pos < len(p.src) {
+			r := rune(p.src[p.pos])
+			if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_') {
+				break
+			}
+			p.pos++
+		}
+		return Atom{Label: p.src[start:p.pos]}, nil
+	default:
+		return nil, fmt.Errorf("pathexpr: unexpected %q at %d in %q", c, p.pos, p.src)
+	}
+}

@@ -1,0 +1,207 @@
+package pathexpr
+
+import (
+	"fmt"
+	"sort"
+
+	"axml/internal/core"
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/tree"
+)
+
+// RSystem is a positive+reg system in declarative form: documents plus
+// services defined by positive+reg queries (Section 5). Build gives it
+// operational form through RQueryService (direct NFA evaluation);
+// TranslateSystem compiles it — services included — into a plain positive
+// system per Proposition 5.1.
+type RSystem struct {
+	Docs     []*tree.Document
+	Services []*RQuery // Name is the function name
+}
+
+// Build assembles an executable system with direct path evaluation.
+func (rs *RSystem) Build() (*core.System, error) {
+	s := core.NewSystem()
+	for _, d := range rs.Docs {
+		if err := s.AddDocument(d.Copy()); err != nil {
+			return nil, err
+		}
+	}
+	for _, rq := range rs.Services {
+		svc, err := NewRQueryService(rq)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddService(svc); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// TranslateSystem implements the full ψ of Proposition 5.1: both the
+// query and the system's positive+reg services become plain positive.
+// Each service body's path nodes get token machines exactly like the
+// query's; annotation calls are injected into every document and every
+// translated service head, so data produced at runtime is annotated too.
+// The same exactness caveats as Translate apply.
+func TranslateSystem(rs *RSystem, rq *RQuery) (*Translation, error) {
+	if err := rq.Validate(); err != nil {
+		return nil, err
+	}
+	for _, svc := range rs.Services {
+		if err := svc.Validate(); err != nil {
+			return nil, err
+		}
+		if svc.Name == "" {
+			return nil, fmt.Errorf("pathexpr: unnamed service query")
+		}
+	}
+	tr := &Translation{System: core.NewSystem()}
+	alphabet := rsystemAlphabet(rs, rq)
+	tr.Alphabet = alphabet
+
+	var machines []*tokenMachine
+	translateQuery := func(in *RQuery) (*query.Query, error) {
+		out := &query.Query{Name: in.Name, Head: in.Head.Copy(), Ineqs: append([]query.Ineq(nil), in.Ineqs...)}
+		for _, a := range in.Body {
+			p, err := translateRNode(a.Pattern, &machines)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, query.Atom{Doc: a.Doc, Pattern: p})
+		}
+		return out, nil
+	}
+
+	q, err := translateQuery(rq)
+	if err != nil {
+		return nil, err
+	}
+	tr.Query = q
+	var services []*query.Query
+	for _, svc := range rs.Services {
+		sq, err := translateQuery(svc)
+		if err != nil {
+			return nil, err
+		}
+		services = append(services, sq)
+	}
+
+	var tokenQueries []*query.Query
+	for _, m := range machines {
+		qs, err := m.services(alphabet)
+		if err != nil {
+			return nil, err
+		}
+		tokenQueries = append(tokenQueries, qs...)
+	}
+	var callNames []string
+	for _, tq := range tokenQueries {
+		callNames = append(callNames, tq.Name)
+		tr.TokenServices = append(tr.TokenServices, tq.Name)
+	}
+
+	for _, d := range rs.Docs {
+		root := d.Root.Copy()
+		injectCallsTree(root, callNames)
+		if err := tr.System.AddDocument(tree.NewDocument(d.Name, root)); err != nil {
+			return nil, err
+		}
+	}
+	for _, sq := range services {
+		injectCallsPattern(sq.Head, callNames)
+		if err := tr.System.AddQuery(sq); err != nil {
+			return nil, err
+		}
+	}
+	for _, tq := range tokenQueries {
+		if err := tr.System.AddQuery(tq); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.System.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// EvalRSystemFull computes [q](I) of a positive+reg query over a
+// positive+reg system by direct evaluation: run the Build()-form to a
+// fixpoint (bounded) and Snapshot directly.
+func EvalRSystemFull(rs *RSystem, rq *RQuery, opts core.RunOptions) (tree.Forest, bool, error) {
+	s, err := rs.Build()
+	if err != nil {
+		return nil, false, err
+	}
+	run := s.Run(opts)
+	if run.Err != nil {
+		return nil, false, run.Err
+	}
+	docs := query.Docs{}
+	for _, name := range s.DocNames() {
+		docs[name] = s.Document(name).Root
+	}
+	ans, err := Snapshot(rq, docs)
+	if err != nil {
+		return nil, false, err
+	}
+	return ans, run.Terminated, nil
+}
+
+// rsystemAlphabet collects labels from documents, service queries and the
+// top query.
+func rsystemAlphabet(rs *RSystem, rq *RQuery) []string {
+	set := map[string]bool{}
+	for _, d := range rs.Docs {
+		d.Root.Walk(func(n, _ *tree.Node) bool {
+			if n.Kind == tree.Label {
+				set[n.Name] = true
+			}
+			return true
+		})
+	}
+	var walkP func(p *pattern.Node)
+	walkP = func(p *pattern.Node) {
+		if p == nil {
+			return
+		}
+		if p.Kind == pattern.ConstLabel {
+			set[p.Name] = true
+		}
+		for _, c := range p.Children {
+			walkP(c)
+		}
+	}
+	var walkR func(n *RNode)
+	walkR = func(n *RNode) {
+		if n == nil {
+			return
+		}
+		if !n.IsPath && n.Kind == pattern.ConstLabel {
+			set[n.Name] = true
+		}
+		if n.IsPath {
+			collectRegexLabels(n.Expr, set)
+		}
+		for _, c := range n.Children {
+			walkR(c)
+		}
+	}
+	for _, q := range append(append([]*RQuery(nil), rs.Services...), rq) {
+		walkP(q.Head)
+		for _, a := range q.Body {
+			walkR(a.Pattern)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package pathexpr
+
+import (
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// Proposition 5.1 for full positive+reg systems: services themselves use
+// path expressions; the translated plain system computes the same query
+// result.
+func TestTranslateSystemWithPathServices(t *testing.T) {
+	// The collect service gathers deeply nested titles into an index
+	// document; the query then reads the index through another path.
+	rs := &RSystem{
+		Docs: []*tree.Document{
+			tree.NewDocument("lib", syntax.MustParseDocument(
+				`lib{section{sub{cd{title{"x"}}},cd{title{"y"}}}}`)),
+			tree.NewDocument("index", syntax.MustParseDocument(`idx{box,!collect}`)),
+		},
+		Services: []*RQuery{
+			named(MustParseRQuery(`found{title{$t}} :- lib/lib{<(section|sub)*.cd.title>{$t}}`), "collect"),
+		},
+	}
+	rq := MustParseRQuery(`out{$t} :- index/idx{<found.title>{$t}}`)
+
+	direct, exact, err := EvalRSystemFull(rs, rq, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatal("direct evaluation did not terminate")
+	}
+	if len(direct) != 2 {
+		t.Fatalf("direct = %s", direct.CanonicalString())
+	}
+
+	trans, err := TranslateSystem(rs, rq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trans.System.IsSimple() || !trans.Query.IsSimple() {
+		t.Fatal("translation lost simplicity")
+	}
+	res, err := trans.System.EvalQuery(trans.Query, core.RunOptions{MaxSteps: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("translated system did not terminate: %+v", res.Run)
+	}
+	if direct.CanonicalString() != res.Answer.CanonicalString() {
+		t.Fatalf("full-system ψ broke results:\ndirect     %s\ntranslated %s",
+			direct.CanonicalString(), res.Answer.CanonicalString())
+	}
+}
+
+func TestRSystemBuildValidation(t *testing.T) {
+	bad := &RSystem{Services: []*RQuery{{Head: nil}}}
+	if _, err := bad.Build(); err == nil {
+		t.Fatal("nil-head service accepted")
+	}
+	unnamed := &RSystem{
+		Docs:     []*tree.Document{tree.NewDocument("d", syntax.MustParseDocument(`a`))},
+		Services: []*RQuery{MustParseRQuery(`out :- d/a`)},
+	}
+	if _, err := unnamed.Build(); err == nil {
+		t.Fatal("unnamed service accepted")
+	}
+	if _, err := TranslateSystem(unnamed, MustParseRQuery(`out :- d/a`)); err == nil {
+		t.Fatal("TranslateSystem accepted unnamed service")
+	}
+}
+
+func TestRSystemBuildDoesNotAliasDocs(t *testing.T) {
+	doc := tree.NewDocument("d", syntax.MustParseDocument(`a{b}`))
+	rs := &RSystem{Docs: []*tree.Document{doc}}
+	s, err := rs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Document("d").Root.Name = "mutated"
+	if doc.Root.Name == "mutated" {
+		t.Fatal("Build aliased the input document")
+	}
+}
+
+func named(q *RQuery, name string) *RQuery {
+	q.Name = name
+	return q
+}

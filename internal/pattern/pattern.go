@@ -1,0 +1,487 @@
+// Package pattern implements positive AXML tree patterns (Section 3.1 of
+// the paper): subtrees of AXML documents in which some labels, function
+// names and atomic values are replaced by variables. Four variable kinds
+// exist, one per node kind plus tree variables that range over whole
+// subtrees:
+//
+//	%x  label variable      (matches a data node's label)
+//	$x  value variable      (matches an atomic value leaf)
+//	^f  function variable   (matches a function node's name)
+//	#X  tree variable       (matches and captures an entire subtree)
+//
+// Matching computes all homomorphisms µ such that µ(p) ⊆ d with the
+// pattern root mapped to the document root: markings must agree (or bind a
+// variable consistently) and every pattern child must map into some
+// document child. Different pattern children may map to the same document
+// child, exactly as in tree subsumption.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"axml/internal/tree"
+)
+
+// Kind classifies pattern nodes: the three constant node kinds plus the
+// four variable kinds.
+type Kind uint8
+
+const (
+	// ConstLabel matches a data node with exactly this label.
+	ConstLabel Kind = iota
+	// ConstValue matches an atomic value leaf with exactly this value.
+	ConstValue
+	// ConstFunc matches a function node calling exactly this service.
+	ConstFunc
+	// VarLabel binds the label of a data node.
+	VarLabel
+	// VarValue binds the value of an atomic value leaf.
+	VarValue
+	// VarFunc binds the name of a function node.
+	VarFunc
+	// VarTree binds an entire subtree. Tree variables are leaves of the
+	// pattern and may occur at most once in a query body (Def 3.1).
+	VarTree
+)
+
+// IsVar reports whether the kind is one of the four variable kinds.
+func (k Kind) IsVar() bool { return k >= VarLabel }
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case ConstLabel:
+		return "label"
+	case ConstValue:
+		return "value"
+	case ConstFunc:
+		return "func"
+	case VarLabel:
+		return "label-var"
+	case VarValue:
+		return "value-var"
+	case VarFunc:
+		return "func-var"
+	case VarTree:
+		return "tree-var"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Sigil returns the variable sigil used by the concrete syntax for this
+// kind, or 0 for constants.
+func (k Kind) Sigil() byte {
+	switch k {
+	case VarLabel:
+		return '%'
+	case VarValue:
+		return '$'
+	case VarFunc:
+		return '^'
+	case VarTree:
+		return '#'
+	default:
+		return 0
+	}
+}
+
+// Node is a pattern node. For constant kinds Name is the marking; for
+// variable kinds Name is the variable name.
+type Node struct {
+	Kind     Kind
+	Name     string
+	Children []*Node
+}
+
+// Label returns a constant label pattern node.
+func Label(name string, children ...*Node) *Node {
+	return &Node{Kind: ConstLabel, Name: name, Children: children}
+}
+
+// Value returns a constant atomic-value pattern leaf.
+func Value(v string) *Node { return &Node{Kind: ConstValue, Name: v} }
+
+// Func returns a constant function-call pattern node.
+func Func(name string, children ...*Node) *Node {
+	return &Node{Kind: ConstFunc, Name: name, Children: children}
+}
+
+// LVar, VVar, FVar and TVar return variable pattern nodes of the four
+// kinds. Label and function variables may have children patterns; value
+// and tree variables are leaves.
+func LVar(name string, children ...*Node) *Node {
+	return &Node{Kind: VarLabel, Name: name, Children: children}
+}
+
+// VVar returns a value-variable leaf.
+func VVar(name string) *Node { return &Node{Kind: VarValue, Name: name} }
+
+// FVar returns a function-variable node.
+func FVar(name string, children ...*Node) *Node {
+	return &Node{Kind: VarFunc, Name: name, Children: children}
+}
+
+// TVar returns a tree-variable leaf.
+func TVar(name string) *Node { return &Node{Kind: VarTree, Name: name} }
+
+// FromTree converts a constant AXML tree into the equivalent pattern.
+func FromTree(t *tree.Node) *Node {
+	if t == nil {
+		return nil
+	}
+	var k Kind
+	switch t.Kind {
+	case tree.Label:
+		k = ConstLabel
+	case tree.Value:
+		k = ConstValue
+	case tree.Func:
+		k = ConstFunc
+	}
+	n := &Node{Kind: k, Name: t.Name}
+	for _, c := range t.Children {
+		n.Children = append(n.Children, FromTree(c))
+	}
+	return n
+}
+
+// Copy deep-copies the pattern.
+func (p *Node) Copy() *Node {
+	if p == nil {
+		return nil
+	}
+	c := &Node{Kind: p.Kind, Name: p.Name}
+	for _, ch := range p.Children {
+		c.Children = append(c.Children, ch.Copy())
+	}
+	return c
+}
+
+// Validate checks pattern well-formedness: value and tree variables and
+// constant values must be leaves.
+func (p *Node) Validate() error {
+	if p == nil {
+		return fmt.Errorf("pattern: nil node")
+	}
+	if (p.Kind == ConstValue || p.Kind == VarValue || p.Kind == VarTree) && len(p.Children) > 0 {
+		return fmt.Errorf("pattern: %s node %q must be a leaf", p.Kind, p.Name)
+	}
+	for _, c := range p.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Vars collects the variables of the pattern into dst, recording each
+// variable's kind. It returns an error if the same variable name is used
+// with two different kinds.
+func (p *Node) Vars(dst map[string]Kind) error {
+	if p == nil {
+		return nil
+	}
+	if p.Kind.IsVar() {
+		if prev, ok := dst[p.Name]; ok && prev != p.Kind {
+			return fmt.Errorf("pattern: variable %q used both as %s and %s", p.Name, prev, p.Kind)
+		}
+		dst[p.Name] = p.Kind
+	}
+	for _, c := range p.Children {
+		if err := c.Vars(dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountTreeVars returns how many tree-variable occurrences the pattern has.
+func (p *Node) CountTreeVars() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	if p.Kind == VarTree {
+		n = 1
+	}
+	for _, c := range p.Children {
+		n += c.CountTreeVars()
+	}
+	return n
+}
+
+// IsSimple reports whether the pattern uses no tree variables.
+func (p *Node) IsSimple() bool { return p.CountTreeVars() == 0 }
+
+// Size returns the number of pattern nodes.
+func (p *Node) Size() int {
+	if p == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range p.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// String renders the pattern in the concrete syntax.
+func (p *Node) String() string {
+	var b strings.Builder
+	p.write(&b)
+	return b.String()
+}
+
+func (p *Node) write(b *strings.Builder) {
+	switch p.Kind {
+	case ConstValue:
+		fmt.Fprintf(b, "%q", p.Name)
+	case ConstFunc:
+		b.WriteByte('!')
+		b.WriteString(p.Name)
+	case ConstLabel:
+		b.WriteString(p.Name)
+	default:
+		b.WriteByte(p.Kind.Sigil())
+		b.WriteString(p.Name)
+	}
+	if len(p.Children) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, c := range p.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c.write(b)
+	}
+	b.WriteByte('}')
+}
+
+// Binding is the value assigned to one variable: either an atomic string
+// (label, value or function name, according to the variable's kind) or a
+// subtree for tree variables.
+type Binding struct {
+	// Tree is non-nil exactly for tree-variable bindings. It aliases a
+	// subtree of the matched document; Instantiate copies it.
+	Tree *tree.Node
+	// Atom holds the bound label, atomic value or function name.
+	Atom string
+}
+
+func (b Binding) key() string {
+	if b.Tree != nil {
+		return "t:" + b.Tree.CanonicalString()
+	}
+	return "a:" + b.Atom
+}
+
+// Assignment maps variable names to bindings (the paper's µ, restricted to
+// the variables).
+type Assignment map[string]Binding
+
+// Copy returns a shallow copy of the assignment.
+func (a Assignment) Copy() Assignment {
+	c := make(Assignment, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
+
+// Key returns a canonical string identifying the assignment, used to
+// deduplicate matches and to memoize instantiations.
+func (a Assignment) Key() string {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(a[n].key())
+	}
+	return b.String()
+}
+
+// Match returns every assignment µ (restricted to the pattern's variables)
+// such that µ(p) ⊆ d with the pattern root mapped to the document root.
+// Results are deduplicated.
+func Match(p *Node, d *tree.Node) []Assignment {
+	return MatchUnder(p, d, nil)
+}
+
+// MatchUnder is Match starting from a partial assignment that every
+// returned assignment must extend consistently. The base assignment is not
+// modified.
+func MatchUnder(p *Node, d *tree.Node, base Assignment) []Assignment {
+	if p == nil || d == nil {
+		return nil
+	}
+	if base == nil {
+		base = Assignment{}
+	}
+	results := matchNode(p, d, base)
+	return dedup(results)
+}
+
+func dedup(as []Assignment) []Assignment {
+	seen := make(map[string]bool, len(as))
+	out := as[:0]
+	for _, a := range as {
+		k := a.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// matchNode returns all extensions of asn under which p maps onto d.
+func matchNode(p *Node, d *tree.Node, asn Assignment) []Assignment {
+	next, ok := bindMarking(p, d, asn)
+	if !ok {
+		return nil
+	}
+	if p.Kind == VarTree {
+		return []Assignment{next}
+	}
+	return matchChildren(p.Children, d, []Assignment{next})
+}
+
+// matchChildren requires every pattern child to map into some child of d,
+// threading assignments through.
+func matchChildren(pcs []*Node, d *tree.Node, asns []Assignment) []Assignment {
+	for _, pc := range pcs {
+		var extended []Assignment
+		for _, asn := range asns {
+			for _, dc := range d.Children {
+				extended = append(extended, matchNode(pc, dc, asn)...)
+			}
+		}
+		if len(extended) == 0 {
+			return nil
+		}
+		asns = dedup(extended)
+	}
+	return asns
+}
+
+// bindMarking checks marking compatibility of p against d under asn,
+// returning the (possibly extended) assignment.
+func bindMarking(p *Node, d *tree.Node, asn Assignment) (Assignment, bool) {
+	switch p.Kind {
+	case ConstLabel:
+		return asn, d.Kind == tree.Label && d.Name == p.Name
+	case ConstValue:
+		return asn, d.Kind == tree.Value && d.Name == p.Name
+	case ConstFunc:
+		return asn, d.Kind == tree.Func && d.Name == p.Name
+	case VarLabel:
+		if d.Kind != tree.Label {
+			return asn, false
+		}
+		return bindAtom(p.Name, d.Name, asn)
+	case VarValue:
+		if d.Kind != tree.Value {
+			return asn, false
+		}
+		return bindAtom(p.Name, d.Name, asn)
+	case VarFunc:
+		if d.Kind != tree.Func {
+			return asn, false
+		}
+		return bindAtom(p.Name, d.Name, asn)
+	case VarTree:
+		if prev, ok := asn[p.Name]; ok {
+			if prev.Tree == nil || !tree.Isomorphic(prev.Tree, d) {
+				return asn, false
+			}
+			return asn, true
+		}
+		next := asn.Copy()
+		next[p.Name] = Binding{Tree: d}
+		return next, true
+	default:
+		return asn, false
+	}
+}
+
+func bindAtom(name, atom string, asn Assignment) (Assignment, bool) {
+	if prev, ok := asn[name]; ok {
+		return asn, prev.Tree == nil && prev.Atom == atom
+	}
+	next := asn.Copy()
+	next[name] = Binding{Atom: atom}
+	return next, true
+}
+
+// Instantiate applies the assignment to a head pattern, producing the tree
+// µ(r). Every variable of the head must be bound; tree-variable bindings
+// are deep-copied into the result.
+func Instantiate(head *Node, asn Assignment) (*tree.Node, error) {
+	if head == nil {
+		return nil, fmt.Errorf("pattern: nil head")
+	}
+	switch head.Kind {
+	case ConstLabel, ConstValue, ConstFunc:
+		var k tree.Kind
+		switch head.Kind {
+		case ConstLabel:
+			k = tree.Label
+		case ConstValue:
+			k = tree.Value
+		case ConstFunc:
+			k = tree.Func
+		}
+		n := &tree.Node{Kind: k, Name: head.Name}
+		for _, c := range head.Children {
+			cn, err := Instantiate(c, asn)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, cn)
+		}
+		return n, nil
+	case VarTree:
+		b, ok := asn[head.Name]
+		if !ok || b.Tree == nil {
+			return nil, fmt.Errorf("pattern: tree variable #%s unbound in head", head.Name)
+		}
+		return b.Tree.Copy(), nil
+	case VarLabel, VarValue, VarFunc:
+		b, ok := asn[head.Name]
+		if !ok || b.Tree != nil {
+			return nil, fmt.Errorf("pattern: variable %c%s unbound in head", head.Kind.Sigil(), head.Name)
+		}
+		var k tree.Kind
+		switch head.Kind {
+		case VarLabel:
+			k = tree.Label
+		case VarValue:
+			k = tree.Value
+		case VarFunc:
+			k = tree.Func
+		}
+		n := &tree.Node{Kind: k, Name: b.Atom}
+		for _, c := range head.Children {
+			cn, err := Instantiate(c, asn)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, cn)
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("pattern: cannot instantiate node of kind %s", head.Kind)
+	}
+}

@@ -1,0 +1,110 @@
+package peer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Coordinator drives a set of peers to a global fixpoint and detects
+// distributed termination. As the paper's conclusion observes, "each peer
+// may know that it reached a fixpoint, but a distributed mechanism is
+// needed to detect termination for the global, distributed system": a
+// peer that is locally quiet can be re-awakened by data a later peer
+// derives, so quiescence must be confirmed by a full silent round with
+// stable state digests.
+type Coordinator struct {
+	// URLs are the peers' base URLs.
+	URLs []string
+	// Client is the HTTP client; nil means a 30s-timeout default.
+	Client *http.Client
+	// MaxRounds bounds the fixpoint loop; 0 means DefaultMaxRounds.
+	MaxRounds int
+}
+
+// DefaultMaxRounds bounds coordinator loops by default.
+const DefaultMaxRounds = 1000
+
+// FixpointResult reports a distributed run.
+type FixpointResult struct {
+	// Rounds counts the sweep rounds performed.
+	Rounds int
+	// Terminated is true when a whole round was silent on every peer and
+	// the global state digest did not change across it.
+	Terminated bool
+}
+
+// RunToFixpoint repeatedly asks every peer for one local sweep, until a
+// full round reports no change anywhere (confirmed by state digests) or
+// the round budget runs out.
+func (c *Coordinator) RunToFixpoint() (FixpointResult, error) {
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	maxRounds := c.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	var res FixpointResult
+	prevDigest := ""
+	for res.Rounds < maxRounds {
+		res.Rounds++
+		anyChanged := false
+		for _, u := range c.URLs {
+			changed, err := sweepOnce(client, u)
+			if err != nil {
+				return res, err
+			}
+			anyChanged = anyChanged || changed
+		}
+		digest, err := c.globalDigest(client)
+		if err != nil {
+			return res, err
+		}
+		if !anyChanged && digest == prevDigest {
+			res.Terminated = true
+			return res, nil
+		}
+		prevDigest = digest
+	}
+	return res, nil
+}
+
+func sweepOnce(client *http.Client, baseURL string) (bool, error) {
+	resp, err := client.Post(baseURL+PathSweep, "text/plain", strings.NewReader(""))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("peer: sweep %s: %s: %s", baseURL, resp.Status, string(body))
+	}
+	return strings.TrimSpace(string(body)) == "changed", nil
+}
+
+func (c *Coordinator) globalDigest(client *http.Client) (string, error) {
+	var b strings.Builder
+	for _, u := range c.URLs {
+		resp, err := client.Get(u + PathHash)
+		if err != nil {
+			return "", err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(u)
+		b.WriteByte('@')
+		b.Write(body)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

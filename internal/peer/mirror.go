@@ -1,0 +1,100 @@
+package peer
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// Mirror maintains a local replica of a remote peer's document — the
+// replication flavor of AXML distribution (the paper's follow-up work on
+// dynamic XML documents with distribution and replication, cited in
+// Section 1, made concrete on this substrate). Each Sync pulls the remote
+// document and merges it into the local copy with the least upper bound
+// ∪ of Section 2.1, so syncs are monotone and idempotent: replaying or
+// interleaving them can only add information, never lose it.
+type Mirror struct {
+	// Remote is the remote peer's base URL.
+	Remote string
+	// RemoteDoc is the document name on the remote peer.
+	RemoteDoc string
+	// LocalDoc is the local document name the replica lives under.
+	LocalDoc string
+	// Client is the HTTP client; nil means a 10s-timeout default.
+	Client *http.Client
+
+	// Syncs counts the completed synchronizations.
+	Syncs int
+	// LastChanged records whether the last sync brought new data.
+	LastChanged bool
+}
+
+// Sync pulls the remote document once and merges it into the local
+// system, reporting whether the replica grew.
+func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
+	client := m.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	remote, err := FetchDoc(client, m.Remote, m.RemoteDoc)
+	if err != nil {
+		return false, err
+	}
+	p.System(func(s *core.System) {
+		local := s.Document(m.LocalDoc)
+		if local == nil {
+			err = fmt.Errorf("peer: mirror target document %q missing", m.LocalDoc)
+			return
+		}
+		if local.Root.Kind != remote.Kind || local.Root.Name != remote.Name {
+			err = fmt.Errorf("peer: mirror roots incomparable: local %s vs remote %s",
+				local.Root.Name, remote.Name)
+			return
+		}
+		before := local.Root.CanonicalHash()
+		merged := subsume.Union(local.Root, remote)
+		if merged == nil {
+			err = fmt.Errorf("peer: union failed")
+			return
+		}
+		local.Root.Children = merged.Children
+		changed = local.Root.CanonicalHash() != before
+	})
+	if err != nil {
+		return false, err
+	}
+	m.Syncs++
+	m.LastChanged = changed
+	return changed, nil
+}
+
+// SyncUntilStable repeatedly syncs (with the remote possibly evolving
+// between rounds via its own services) until a sync brings nothing new or
+// the round budget is exhausted. It returns the number of rounds and
+// whether stability was reached.
+func (m *Mirror) SyncUntilStable(p *Peer, maxRounds int) (rounds int, stable bool, err error) {
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	for rounds < maxRounds {
+		rounds++
+		changed, err := m.Sync(p)
+		if err != nil {
+			return rounds, false, err
+		}
+		if !changed {
+			return rounds, true, nil
+		}
+	}
+	return rounds, false, nil
+}
+
+// NewReplicaDoc builds an empty local replica root matching a remote
+// document's root marking, ready to be added to a system and mirrored.
+func NewReplicaDoc(name string, rootLabel string) *tree.Document {
+	return tree.NewDocument(name, tree.NewLabel(rootLabel))
+}

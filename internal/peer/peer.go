@@ -1,0 +1,264 @@
+package peer
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/tree"
+)
+
+// HTTP endpoints exposed by a Peer.
+const (
+	PathInvoke = "/axml/invoke"
+	PathDoc    = "/axml/doc/"
+	PathSweep  = "/axml/sweep"
+	PathHash   = "/axml/hash"
+)
+
+// Peer hosts an AXML system and serves its services over HTTP. All
+// exported methods are safe for concurrent use; the system is guarded by
+// one mutex (requests serialize, which matches the formal model's
+// one-invocation-at-a-time rewriting).
+type Peer struct {
+	// Name identifies the peer in logs and stats.
+	Name string
+
+	mu     sync.Mutex
+	system *core.System
+	stats  Stats
+}
+
+// Stats counts a peer's activity.
+type Stats struct {
+	// Served counts incoming service invocations.
+	Served int
+	// Sweeps counts local sweeps triggered via PathSweep or Sweep.
+	Sweeps int
+	// Steps counts strictly-growing local invocations.
+	Steps int
+}
+
+// New wraps a system as a peer.
+func New(name string, s *core.System) *Peer {
+	return &Peer{Name: name, system: s}
+}
+
+// System gives locked access to the underlying system.
+func (p *Peer) System(fn func(s *core.System)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(p.system)
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Handler returns the HTTP handler exposing the peer.
+func (p *Peer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathInvoke, p.handleInvoke)
+	mux.HandleFunc(PathDoc, p.handleDoc)
+	mux.HandleFunc(PathSweep, p.handleSweep)
+	mux.HandleFunc(PathHash, p.handleHash)
+	return mux
+}
+
+func (p *Peer) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	env, err := UnmarshalEnvelope(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	forest, err := p.Serve(env)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	data, err := MarshalForest(forest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data)
+}
+
+// Serve evaluates a local service for an incoming envelope: the service
+// runs against this peer's documents, with the caller's input and context
+// (the AXML Web service semantics — results may themselves contain calls,
+// i.e. intensional answers).
+func (p *Peer) Serve(env Envelope) (tree.Forest, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	svc := p.system.Service(env.Service)
+	if svc == nil {
+		return nil, fmt.Errorf("peer %s: unknown service %q", p.Name, env.Service)
+	}
+	input := env.Input
+	if input == nil {
+		input = tree.NewLabel(tree.Input)
+	}
+	p.stats.Served++
+	return svc.Invoke(core.Binding{
+		Input:   input,
+		Context: env.Context,
+		Docs:    p.system.Docs(),
+	})
+}
+
+func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Path[len(PathDoc):]
+	p.mu.Lock()
+	doc := p.system.Document(name)
+	var data []byte
+	var err error
+	if doc != nil {
+		data, err = MarshalTree(doc.Root)
+	}
+	p.mu.Unlock()
+	if doc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data)
+}
+
+// Sweep performs one fair local sweep (each current call attempted once)
+// and reports whether anything changed. Remote calls embedded in local
+// documents go over HTTP during the sweep.
+func (p *Peer) Sweep() (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Sweeps++
+	res := p.system.Run(core.RunOptions{MaxSweeps: 1})
+	p.stats.Steps += res.Steps
+	if res.Err != nil {
+		return false, res.Err
+	}
+	return res.Steps > 0, nil
+}
+
+func (p *Peer) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	changed, err := p.Sweep()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if changed {
+		io.WriteString(w, "changed")
+	} else {
+		io.WriteString(w, "quiet")
+	}
+}
+
+// Hash returns a digest of the peer's current documents (for distributed
+// termination detection).
+func (p *Peer) Hash() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var h string
+	for _, name := range p.system.DocNames() {
+		hh := p.system.Document(name).Root.CanonicalHash()
+		h += fmt.Sprintf("%s=%x;", name, hh[:8])
+	}
+	return h
+}
+
+func (p *Peer) handleHash(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, p.Hash())
+}
+
+// RemoteService is a core.Service whose implementation lives on another
+// peer: Invoke marshals input and context into an envelope, POSTs it and
+// decodes the returned forest. The remote peer evaluates against its own
+// documents — only the reserved input/context travel, exactly as in the
+// formal model where each function name denotes a service at some URL.
+type RemoteService struct {
+	// Name is the local function name.
+	Name string
+	// Service is the remote service name (often equal to Name).
+	Service string
+	// URL is the remote peer's base URL.
+	URL string
+	// Client is the HTTP client; nil means a 10s-timeout default.
+	Client *http.Client
+}
+
+// ServiceName implements core.Service.
+func (r *RemoteService) ServiceName() string { return r.Name }
+
+// Invoke implements core.Service over HTTP.
+func (r *RemoteService) Invoke(b core.Binding) (tree.Forest, error) {
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	svc := r.Service
+	if svc == "" {
+		svc = r.Name
+	}
+	data, err := MarshalEnvelope(Envelope{Service: svc, Input: b.Input, Context: b.Context})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(r.URL+PathInvoke, "application/xml", bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer: remote %s: %s: %s", svc, resp.Status, string(body))
+	}
+	return UnmarshalForest(body)
+}
+
+// FetchDoc pulls a document from a peer.
+func FetchDoc(client *http.Client, baseURL, name string) (*tree.Node, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Get(baseURL + PathDoc + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer: fetch %s: %s", name, resp.Status)
+	}
+	return UnmarshalTree(body)
+}

@@ -1,0 +1,174 @@
+package peer
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// Push mode (pub/sub): the paper notes that repeated call activation
+// captures both a pull mode, where clients keep asking, and a push mode,
+// where servers keep sending new data (Section 2.2 and the conclusion).
+// Publisher implements the server side: subscribers register a service
+// invocation plus a callback URL, and Flush re-evaluates each
+// subscription, POSTing only the new trees to the callback. Subscriber
+// implements the client side, appending pushed forests under the
+// subscribed call's parent — exactly where a pull-mode invocation would
+// have appended them, so both modes converge to the same documents.
+
+// PathPush is the subscriber's callback endpoint.
+const PathPush = "/axml/push/"
+
+// Publisher manages subscriptions on top of a Peer.
+type Publisher struct {
+	peer *Peer
+
+	mu   sync.Mutex
+	subs []*subscription
+}
+
+type subscription struct {
+	id       string
+	env      Envelope
+	callback string
+	sent     tree.Forest
+}
+
+// NewPublisher wraps a peer.
+func NewPublisher(p *Peer) *Publisher { return &Publisher{peer: p} }
+
+// Subscribe registers a subscription: the envelope will be re-evaluated
+// on every Flush, and new results POSTed to callbackURL+PathPush+id.
+func (pb *Publisher) Subscribe(id string, env Envelope, callbackURL string) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	pb.subs = append(pb.subs, &subscription{id: id, env: env, callback: callbackURL})
+}
+
+// Flush re-evaluates every subscription and pushes the trees not yet
+// sent. It returns the number of trees pushed.
+func (pb *Publisher) Flush(client *http.Client) (int, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	pb.mu.Lock()
+	subs := append([]*subscription(nil), pb.subs...)
+	pb.mu.Unlock()
+	pushed := 0
+	for _, sub := range subs {
+		forest, err := pb.peer.Serve(sub.env)
+		if err != nil {
+			return pushed, err
+		}
+		var fresh tree.Forest
+		for _, t := range forest {
+			seen := false
+			for _, old := range sub.sent {
+				if subsume.Subsumed(t, old) {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				fresh = append(fresh, t)
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		data, err := MarshalForest(fresh)
+		if err != nil {
+			return pushed, err
+		}
+		resp, err := client.Post(sub.callback+PathPush+sub.id, "application/xml", bytes.NewReader(data))
+		if err != nil {
+			return pushed, err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return pushed, fmt.Errorf("peer: push to %s: %s: %s", sub.callback, resp.Status, string(body))
+		}
+		sub.sent = append(sub.sent, fresh...)
+		pushed += len(fresh)
+	}
+	return pushed, nil
+}
+
+// Subscriber receives pushed forests and appends them into a document of
+// its local system, at a registered attachment point.
+type Subscriber struct {
+	peer *Peer
+
+	mu      sync.Mutex
+	targets map[string]pushTarget
+}
+
+type pushTarget struct {
+	doc  string
+	node *tree.Node // attachment parent inside the document
+}
+
+// NewSubscriber wraps a peer.
+func NewSubscriber(p *Peer) *Subscriber {
+	return &Subscriber{peer: p, targets: map[string]pushTarget{}}
+}
+
+// Register binds a subscription id to an attachment parent inside a
+// document: pushed trees become children of that node, then the document
+// is reduced — the same effect as a pull-mode invocation at a call under
+// that parent.
+func (sb *Subscriber) Register(id, doc string, parent *tree.Node) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.targets[id] = pushTarget{doc: doc, node: parent}
+}
+
+// Handler returns the subscriber's HTTP handler (mount alongside or
+// instead of the peer handler).
+func (sb *Subscriber) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPush, sb.handlePush)
+	return mux
+}
+
+func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Path[len(PathPush):]
+	sb.mu.Lock()
+	target, ok := sb.targets[id]
+	sb.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown subscription", http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	forest, err := UnmarshalForest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sb.peer.System(func(s *core.System) {
+		doc := s.Document(target.doc)
+		if doc == nil {
+			return
+		}
+		target.node.Children = append(target.node.Children, forest...)
+		subsume.ReduceInPlace(doc.Root)
+	})
+	io.WriteString(w, "ok")
+}

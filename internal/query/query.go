@@ -1,0 +1,320 @@
+// Package query implements the positive query language of Section 3.1: a
+// monotone conjunctive fragment of XQuery. A positive query is a rule
+//
+//	r :- d1/p1, ..., dn/pn, e1, ..., em
+//
+// where r and the pi are positive AXML tree patterns over document names
+// di, and the ej are inequalities x != y between label, function or value
+// variables (never tree variables) or constants.
+//
+// Definition 3.1 imposes: (2) every head variable occurs in the body;
+// (3) no tree variable occurs twice in the body and inequalities never
+// involve tree variables. Validate enforces all of it. These restrictions
+// are what make the snapshot semantics monotone (Proposition 3.1).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"axml/internal/pattern"
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// Atom is one body conjunct d/p: pattern p must embed into the document
+// named Doc.
+type Atom struct {
+	Doc     string
+	Pattern *pattern.Node
+}
+
+// String renders the atom as "doc/pattern".
+func (a Atom) String() string { return a.Doc + "/" + a.Pattern.String() }
+
+// Term is one side of an inequality: either a variable (label, value or
+// function variable) or a string constant.
+type Term struct {
+	// Var is the variable name; empty for constants.
+	Var string
+	// Const is the constant; used when Var is empty.
+	Const string
+}
+
+// Variable returns a variable term.
+func Variable(name string) Term { return Term{Var: name} }
+
+// Constant returns a constant term.
+func Constant(v string) Term { return Term{Const: v} }
+
+// String renders the term; variables keep a leading "?" only when printed
+// inside inequalities, so we emit the bare name for variables and quote
+// constants.
+func (t Term) String() string {
+	if t.Var != "" {
+		return t.Var
+	}
+	return fmt.Sprintf("%q", t.Const)
+}
+
+// Ineq is an inequality constraint x != y.
+type Ineq struct {
+	Left, Right Term
+}
+
+// String renders the inequality.
+func (e Ineq) String() string { return e.Left.String() + " != " + e.Right.String() }
+
+// Query is a positive query: Head :- Body, Ineqs.
+type Query struct {
+	// Name optionally names the query (the function name of the service
+	// it defines, or a label for diagnostics).
+	Name string
+	Head *pattern.Node
+	Body []Atom
+	Ineqs []Ineq
+}
+
+// String renders the query as "head :- atom, ..., x != y, ..." in the
+// concrete syntax ParseQuery accepts (inequality variables carry the
+// sigil of their kind, resolved from the body).
+func (q *Query) String() string {
+	kinds := map[string]pattern.Kind{}
+	for _, a := range q.Body {
+		_ = a.Pattern.Vars(kinds) // best effort; String never fails
+	}
+	var b strings.Builder
+	b.WriteString(q.Head.String())
+	b.WriteString(" :- ")
+	parts := make([]string, 0, len(q.Body)+len(q.Ineqs))
+	for _, a := range q.Body {
+		parts = append(parts, a.String())
+	}
+	renderTerm := func(t Term) string {
+		if t.Var == "" {
+			return fmt.Sprintf("%q", t.Const)
+		}
+		if k, ok := kinds[t.Var]; ok && k.Sigil() != 0 {
+			return string(k.Sigil()) + t.Var
+		}
+		return "$" + t.Var
+	}
+	for _, e := range q.Ineqs {
+		parts = append(parts, renderTerm(e.Left)+" != "+renderTerm(e.Right))
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	return b.String()
+}
+
+// IsSimple reports whether the query uses no tree variables anywhere
+// (Definition 3.1: a simple query).
+func (q *Query) IsSimple() bool {
+	if !q.Head.IsSimple() {
+		return false
+	}
+	for _, a := range q.Body {
+		if !a.Pattern.IsSimple() {
+			return false
+		}
+	}
+	return true
+}
+
+// DocNames returns the distinct document names used in the body, in first-
+// occurrence order.
+func (q *Query) DocNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Body {
+		if !seen[a.Doc] {
+			seen[a.Doc] = true
+			out = append(out, a.Doc)
+		}
+	}
+	return out
+}
+
+// UsesInput and UsesContext report whether the body reads the reserved
+// documents.
+func (q *Query) UsesInput() bool { return q.usesDoc(tree.Input) }
+
+// UsesContext reports whether the body reads the context document.
+func (q *Query) UsesContext() bool { return q.usesDoc(tree.Context) }
+
+func (q *Query) usesDoc(name string) bool {
+	for _, a := range q.Body {
+		if a.Doc == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate enforces Definition 3.1. It returns a descriptive error for the
+// first violation found.
+func (q *Query) Validate() error {
+	if q.Head == nil {
+		return fmt.Errorf("query %s: nil head", q.Name)
+	}
+	if err := q.Head.Validate(); err != nil {
+		return fmt.Errorf("query %s: head: %w", q.Name, err)
+	}
+	bodyVars := map[string]pattern.Kind{}
+	treeVarCount := map[string]int{}
+	for _, a := range q.Body {
+		if a.Pattern == nil {
+			return fmt.Errorf("query %s: nil pattern for document %q", q.Name, a.Doc)
+		}
+		if err := a.Pattern.Validate(); err != nil {
+			return fmt.Errorf("query %s: body %s: %w", q.Name, a.Doc, err)
+		}
+		if err := a.Pattern.Vars(bodyVars); err != nil {
+			return fmt.Errorf("query %s: body: %w", q.Name, err)
+		}
+		countTreeVarOccurrences(a.Pattern, treeVarCount)
+	}
+	for v, n := range treeVarCount {
+		if n > 1 {
+			return fmt.Errorf("query %s: tree variable #%s occurs %d times in the body; at most once is allowed", q.Name, v, n)
+		}
+	}
+	headVars := map[string]pattern.Kind{}
+	if err := q.Head.Vars(headVars); err != nil {
+		return fmt.Errorf("query %s: head: %w", q.Name, err)
+	}
+	for v, k := range headVars {
+		bk, ok := bodyVars[v]
+		if !ok {
+			return fmt.Errorf("query %s: head variable %c%s does not occur in the body (unsafe)", q.Name, k.Sigil(), v)
+		}
+		if bk != k {
+			return fmt.Errorf("query %s: variable %s is %s in the head but %s in the body", q.Name, v, k, bk)
+		}
+	}
+	for _, e := range q.Ineqs {
+		for _, t := range []Term{e.Left, e.Right} {
+			if t.Var == "" {
+				continue
+			}
+			k, ok := bodyVars[t.Var]
+			if !ok {
+				return fmt.Errorf("query %s: inequality uses variable %s not bound in the body", q.Name, t.Var)
+			}
+			if k == pattern.VarTree {
+				return fmt.Errorf("query %s: inequality on tree variable #%s is not allowed", q.Name, t.Var)
+			}
+		}
+	}
+	return nil
+}
+
+func countTreeVarOccurrences(p *pattern.Node, dst map[string]int) {
+	if p == nil {
+		return
+	}
+	if p.Kind == pattern.VarTree {
+		dst[p.Name]++
+	}
+	for _, c := range p.Children {
+		countTreeVarOccurrences(c, dst)
+	}
+}
+
+// Docs gives a meaning θ to document names: it maps each name to a tree.
+// Missing names simply yield no matches for their atoms.
+type Docs map[string]*tree.Node
+
+// Snapshot evaluates the query on the given document binding without
+// invoking any service call: the snapshot result q(I) of Section 3.1. The
+// returned forest consists of freshly allocated, reduced trees with no
+// tree subsumed by another.
+func Snapshot(q *Query, docs Docs) (tree.Forest, error) {
+	asns, err := BodyAssignments(q, docs)
+	if err != nil {
+		return nil, err
+	}
+	var out tree.Forest
+	for _, asn := range asns {
+		t, err := pattern.Instantiate(q.Head, asn)
+		if err != nil {
+			return nil, fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		out = append(out, t)
+	}
+	return subsume.ReduceForest(out), nil
+}
+
+// BodyAssignments computes every assignment satisfying the body and the
+// inequalities, restricted to the variables, deduplicated.
+func BodyAssignments(q *Query, docs Docs) ([]pattern.Assignment, error) {
+	asns := []pattern.Assignment{{}}
+	for _, a := range q.Body {
+		doc := docs[a.Doc]
+		if doc == nil {
+			return nil, nil
+		}
+		var next []pattern.Assignment
+		for _, asn := range asns {
+			next = append(next, pattern.MatchUnder(a.Pattern, doc, asn)...)
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		asns = dedupAssignments(next)
+	}
+	var out []pattern.Assignment
+	for _, asn := range asns {
+		ok, err := satisfiesIneqs(q, asn)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, asn)
+		}
+	}
+	return out, nil
+}
+
+func dedupAssignments(as []pattern.Assignment) []pattern.Assignment {
+	seen := make(map[string]bool, len(as))
+	out := as[:0]
+	for _, a := range as {
+		k := a.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func satisfiesIneqs(q *Query, asn pattern.Assignment) (bool, error) {
+	for _, e := range q.Ineqs {
+		l, err := termValue(q, e.Left, asn)
+		if err != nil {
+			return false, err
+		}
+		r, err := termValue(q, e.Right, asn)
+		if err != nil {
+			return false, err
+		}
+		if l == r {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func termValue(q *Query, t Term, asn pattern.Assignment) (string, error) {
+	if t.Var == "" {
+		return t.Const, nil
+	}
+	b, ok := asn[t.Var]
+	if !ok {
+		return "", fmt.Errorf("query %s: inequality variable %s unbound", q.Name, t.Var)
+	}
+	if b.Tree != nil {
+		return "", fmt.Errorf("query %s: inequality variable %s bound to a tree", q.Name, t.Var)
+	}
+	return b.Atom, nil
+}

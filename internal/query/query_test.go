@@ -1,0 +1,222 @@
+package query_test
+
+import (
+	"testing"
+
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/subsume"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+func docs(t *testing.T, pairs ...string) query.Docs {
+	t.Helper()
+	if len(pairs)%2 != 0 {
+		t.Fatal("docs needs name/tree pairs")
+	}
+	d := query.Docs{}
+	for i := 0; i < len(pairs); i += 2 {
+		n, err := syntax.ParseDocument(pairs[i+1])
+		if err != nil {
+			t.Fatalf("doc %s: %v", pairs[i], err)
+		}
+		d[pairs[i]] = n
+	}
+	return d
+}
+
+func q(t *testing.T, src string) *query.Query {
+	t.Helper()
+	qq, err := syntax.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("query %q: %v", src, err)
+	}
+	return qq
+}
+
+func forestEq(t *testing.T, got tree.Forest, want ...string) {
+	t.Helper()
+	var wf tree.Forest
+	for _, w := range want {
+		n, err := syntax.ParseDocument(w)
+		if err != nil {
+			t.Fatalf("want %q: %v", w, err)
+		}
+		wf = append(wf, n)
+	}
+	if got.CanonicalString() != subsume.ReduceForest(wf).CanonicalString() {
+		t.Fatalf("forest = %s, want %s", got.CanonicalString(), wf.CanonicalString())
+	}
+}
+
+func TestSnapshotPaperExample31(t *testing.T) {
+	d := docs(t,
+		"d", `r{t{a{1},b{c{2},d{3}}},t{a{1},b{c{3},e{3}}},t{a{2},b{c{2},k{6}}}}`,
+		"dp", `a{1}`,
+	)
+	labelQ := q(t, `%z :- dp/a{$x}, d/r{t{a{$x},b{%z}}}`)
+	got, err := query.Snapshot(labelQ, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forestEq(t, got, `c`, `d`, `e`)
+
+	treeQ := q(t, `#Z :- dp/a{$x}, d/r{t{a{$x},b{#Z}}}`)
+	got, err = query.Snapshot(treeQ, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forestEq(t, got, `c{"2"}`, `d{"3"}`, `c{"3"}`, `e{"3"}`)
+}
+
+func TestSnapshotCrossAtomJoin(t *testing.T) {
+	d := docs(t, "d", `r{t{a{1},b{2}},t{a{2},b{3}},t{a{7},b{8}}}`)
+	tc := q(t, `t{a{$x},b{$y}} :- d/r{t{a{$x},b{$z}}}, d/r{t{a{$z},b{$y}}}`)
+	got, err := query.Snapshot(tc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forestEq(t, got, `t{a{"1"},b{"3"}}`)
+}
+
+func TestSnapshotInequalities(t *testing.T) {
+	d := docs(t, "d", `r{a{1},a{2},a{3}}`)
+	qq := q(t, `p{$x,$y} :- d/r{a{$x},a{$y}}, $x != $y, $x != "3", $y != "3"`)
+	got, err := query.Snapshot(qq, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forestEq(t, got, `p{"1","2"}`, `p{"2","1"}`)
+}
+
+func TestSnapshotConstantIneq(t *testing.T) {
+	d := docs(t, "d", `r{a{1}}`)
+	sat := q(t, `ok :- d/r{a{$x}}, "1" != "2"`)
+	got, err := query.Snapshot(sat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("constant-true inequality dropped results: %v", got)
+	}
+	unsat := q(t, `ok :- d/r{a{$x}}, "1" != "1"`)
+	got, err = query.Snapshot(unsat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("constant-false inequality kept results: %v", got)
+	}
+}
+
+func TestSnapshotEmptyBodyYieldsHead(t *testing.T) {
+	qq := q(t, `a{!f} :- `)
+	got, err := query.Snapshot(qq, query.Docs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forestEq(t, got, `a{!f}`)
+}
+
+func TestSnapshotMissingDocumentYieldsNothing(t *testing.T) {
+	qq := q(t, `a :- nowhere/x`)
+	got, err := query.Snapshot(qq, query.Docs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing doc produced results: %v", got)
+	}
+}
+
+func TestSnapshotResultIsReducedForest(t *testing.T) {
+	d := docs(t, "d", `r{a{1},a{1},a{2}}`)
+	qq := q(t, `out{$x} :- d/r{a{$x}}`)
+	got, err := query.Snapshot(qq, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("results = %v", got)
+	}
+	for _, n := range got {
+		if !subsume.IsReduced(n) {
+			t.Fatalf("unreduced result %s", n)
+		}
+	}
+}
+
+// Proposition 3.1(1): snapshot semantics is monotone.
+func TestProposition31Monotone(t *testing.T) {
+	small := docs(t, "d", `r{t{a{1},b{2}}}`)
+	big := docs(t, "d", `r{t{a{1},b{2}},t{a{2},b{3}},extra{t{a{9},b{9}}}}`)
+	queries := []string{
+		`out{$x} :- d/r{t{a{$x}}}`,
+		`out{$x,$y} :- d/r{t{a{$x},b{$y}}}, $x != $y`,
+		`out{#T} :- d/r{#T}`,
+		`out{%l} :- d/r{%l}`,
+	}
+	for _, src := range queries {
+		qq := q(t, src)
+		sg, err := query.Snapshot(qq, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bg, err := query.Snapshot(qq, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !subsume.ForestSubsumed(sg, bg) {
+			t.Errorf("query %q not monotone: %s vs %s", src, sg.CanonicalString(), bg.CanonicalString())
+		}
+	}
+}
+
+// Proposition 3.1(2): with tree (in)equality the language would be
+// non-monotone; our validator rejects tree-variable inequalities outright.
+func TestTreeInequalityRejected(t *testing.T) {
+	if _, err := syntax.ParseQuery(`a :- d/r{#T}, #T != #T`); err == nil {
+		t.Fatal("tree inequality accepted")
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	qq := q(t, `out{$x} :- input/r{a{$x}}, context/s, d/r{a{$x}}`)
+	if !qq.UsesInput() || !qq.UsesContext() {
+		t.Fatal("input/context detection broken")
+	}
+	names := qq.DocNames()
+	if len(names) != 3 {
+		t.Fatalf("DocNames = %v", names)
+	}
+	if qq.IsSimple() != true {
+		t.Fatal("no tree vars but not simple")
+	}
+	if q(t, `out{#T} :- d/r{#T}`).IsSimple() {
+		t.Fatal("tree-var query reported simple")
+	}
+}
+
+func TestValidateDirectErrors(t *testing.T) {
+	// Build invalid queries programmatically (the parser rejects most of
+	// these shapes before validation, so exercise Validate directly).
+	bad := []*query.Query{
+		{Name: "nilhead"},
+		{Name: "nilpat", Head: mustPat(t, `a`), Body: []query.Atom{{Doc: "d"}}},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", b)
+		}
+	}
+}
+
+func mustPat(t *testing.T, s string) *pattern.Node {
+	t.Helper()
+	p, err := syntax.ParsePattern(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

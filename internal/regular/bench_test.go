@@ -1,0 +1,81 @@
+package regular
+
+import (
+	"fmt"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/syntax"
+)
+
+func tcSystemN(n int) *core.System {
+	body := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body += ","
+		}
+		body += fmt.Sprintf(`t{a{"n%d"},b{"n%d"}}`, i, i+1)
+	}
+	return core.MustParseSystem(fmt.Sprintf(`
+doc  d0 = r{%s}
+doc  d1 = r{!g,!f}
+func g = t{a{$x},b{$y}} :- d0/r{t{a{$x},b{$y}}}
+func f = t{a{$x},b{$y}} :- d1/r{t{a{$x},b{$z}}}, d1/r{t{a{$z},b{$y}}}
+`, body))
+}
+
+func BenchmarkBuildTCGraph(b *testing.B) {
+	s := tcSystemN(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(s, BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTerminatesDecision(b *testing.B) {
+	loop := core.MustParseSystem("doc d = a{!f}\nfunc f = a{!f} :- ")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := Terminates(loop, BuildOptions{})
+		if err != nil || ok {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+func BenchmarkGraphQueryOverInfinite(b *testing.B) {
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := syntax.MustParseQuery(`hit :- d/a{a{a{a}}}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := g.SnapshotQuery(q)
+		if err != nil || len(ans) != 1 {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+func BenchmarkSimulatesCyclic(b *testing.B) {
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := g.Roots["d"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Simulates(root, root) {
+			b.Fatal("not reflexive")
+		}
+	}
+}

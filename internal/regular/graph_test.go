@@ -1,0 +1,328 @@
+package regular
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/subsume"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+const tcSystem = `
+doc  d0 = r{t{a{1},b{2}},t{a{2},b{3}},t{a{3},b{4}}}
+doc  d1 = r{!g,!f}
+func g = t{a{$x},b{$y}} :- d0/r{t{a{$x},b{$y}}}
+func f = t{a{$x},b{$y}} :- d1/r{t{a{$x},b{$z}}}, d1/r{t{a{$z},b{$y}}}
+`
+
+const loopSystem = "doc d = a{!f}\nfunc f = a{!f} :- "
+
+func TestBuildRejectsNonSimpleAndBlackBox(t *testing.T) {
+	nonSimple := core.MustParseSystem("doc d = a{a{b},!g}\nfunc g = a{a{#X}} :- context/a{a{#X}}")
+	if _, err := Build(nonSimple, BuildOptions{}); err == nil {
+		t.Fatal("non-simple system accepted")
+	}
+	bb := core.NewSystem()
+	if err := bb.AddDocument(tree.NewDocument("d", syntax.MustParseDocument(`a{!f}`))); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.AddService(core.ConstService("f", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(bb, BuildOptions{}); err == nil {
+		t.Fatal("black-box system accepted")
+	}
+}
+
+func TestTerminatingSystemAcyclicGraphMatchesEngine(t *testing.T) {
+	s := core.MustParseSystem(tcSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasCycle() {
+		t.Fatalf("terminating TC system produced a cyclic graph:\n%s", g)
+	}
+	// The graph's full unfolding must equal the engine's fixpoint.
+	run := s.Copy()
+	res := run.Run(core.RunOptions{})
+	if !res.Terminated {
+		t.Fatal("engine did not terminate")
+	}
+	for _, name := range []string{"d0", "d1"} {
+		unf, err := g.Roots[name].UnfoldFull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run.Document(name).Root
+		if !subsume.Equivalent(unf, want) {
+			t.Fatalf("doc %s: graph unfolding %s != engine %s", name, unf.CanonicalString(), want.CanonicalString())
+		}
+	}
+}
+
+func TestExample21GraphSelfLoop(t *testing.T) {
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasCycle() {
+		t.Fatalf("Example 2.1 graph should be cyclic:\n%s", g)
+	}
+	// Finite representation of an infinite tree: vertex count small.
+	if n := g.VertexCount(); n > 6 {
+		t.Fatalf("graph too large: %d vertices\n%s", n, g)
+	}
+	// Bounded unfoldings agree with budget-bounded engine runs.
+	run := s.Copy()
+	run.Run(core.RunOptions{MaxSteps: 4})
+	engineState := run.Document("d").Root
+	unf := g.Roots["d"].Unfold(engineState.Depth())
+	if !subsume.Subsumed(engineState, unf) {
+		t.Fatalf("engine state not subsumed by graph unfolding:\nengine %s\ngraph  %s",
+			engineState.CanonicalString(), unf.CanonicalString())
+	}
+}
+
+func TestTheorem33TerminationDecision(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"tc", tcSystem, true},
+		{"loop", loopSystem, false},
+		{"const", "doc d = a{!f}\nfunc f = b{c} :- ", true},
+		{"chain", `
+doc d = top{!f}
+func f = mid{!g} :-
+func g = leaf :-
+`, true},
+		{"mutual", `
+doc d = top{!f}
+func f = a{!g} :-
+func g = b{!f} :-
+`, false},
+		{"guarded", `
+doc d0 = r{v{1}}
+doc d = top{!f}
+func f = a{$x,!g} :- d0/r{v{$x}}
+func g = b{$x} :- d0/r{v{$x}}
+`, true},
+		{"self-context", `
+doc d = a{b,!f}
+func f = b :- context/a{b}
+`, true},
+	}
+	for _, c := range cases {
+		s := core.MustParseSystem(c.src)
+		got, g, err := Terminates(s, BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Terminates = %v, want %v\n%s", c.name, got, c.want, g)
+		}
+		// Cross-check against the budget-bounded engine.
+		engine, _ := s.Terminates(400)
+		if engine != c.want {
+			t.Errorf("%s: engine ground truth %v disagrees with expectation %v", c.name, engine, c.want)
+		}
+	}
+}
+
+func TestSnapshotQueryOverInfiniteSemantics(t *testing.T) {
+	// The loop system has infinite semantics but simple queries over it
+	// have finite answers computable from the graph (Section 3.3).
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := syntax.MustParseQuery(`hit :- d/a{a{a}}`)
+	ans, err := g.SnapshotQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Fatalf("nested-a query over infinite semantics: %v", ans)
+	}
+	// A query that can never match stays empty.
+	none, err := g.SnapshotQuery(syntax.MustParseQuery(`hit :- d/a{b}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("impossible query matched: %v", none)
+	}
+	// Non-simple queries are rejected.
+	if _, err := g.SnapshotQuery(syntax.MustParseQuery(`out{#T} :- d/a{#T}`)); err == nil {
+		t.Fatal("non-simple query accepted")
+	}
+}
+
+func TestSnapshotQueryEqualsEngineOnTerminating(t *testing.T) {
+	s := core.MustParseSystem(tcSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := syntax.MustParseQuery(`pair{$x,$y} :- d1/r{t{a{$x},b{$y}}}`)
+	graphAns, err := g.SnapshotQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineAns, err := s.EvalQuery(q, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphAns.CanonicalString() != engineAns.Answer.CanonicalString() {
+		t.Fatalf("graph %s != engine %s", graphAns.CanonicalString(), engineAns.Answer.CanonicalString())
+	}
+}
+
+func TestBuildWithExcludedCalls(t *testing.T) {
+	s := core.MustParseSystem(tcSystem)
+	// Freeze the recursive call f: only base pairs are derived.
+	var frozen *tree.Node
+	for _, occ := range s.Document("d1").Root.FuncNodes() {
+		if occ.Node.Name == "f" {
+			frozen = occ.Node
+		}
+	}
+	g, err := Build(s, BuildOptions{Exclude: map[*tree.Node]bool{frozen: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := syntax.MustParseQuery(`pair{$x,$y} :- d1/r{t{a{$x},b{$y}}}`)
+	ans, err := g.SnapshotQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 3 {
+		t.Fatalf("frozen-f answers = %d, want 3 base pairs:\n%s", len(ans), ans)
+	}
+}
+
+func TestInstantiationSharing(t *testing.T) {
+	// Two calls to the same service with the same derivable assignment
+	// share one instantiation vertex.
+	s := core.MustParseSystem(`
+doc d0 = r{v{1}}
+doc d = top{left{!f},right{!f}}
+func f = out{$x} :- d0/r{v{$x}}
+`)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count vertices named "out": sharing means exactly one.
+	count := 0
+	for _, v := range collect(g.Roots["d"]) {
+		if v.Name == "out" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("instantiation not shared: %d 'out' vertices\n%s", count, g)
+	}
+}
+
+func TestUnfoldDepthBudget(t *testing.T) {
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := g.Roots["d"].Unfold(2)
+	if u2.Depth() != 2 {
+		t.Fatalf("Unfold(2) depth = %d", u2.Depth())
+	}
+	u5 := g.Roots["d"].Unfold(5)
+	if !subsume.Subsumed(u2, u5) {
+		t.Fatal("shallower unfolding not subsumed by deeper one")
+	}
+	if _, err := g.Roots["d"].UnfoldFull(); err == nil {
+		t.Fatal("UnfoldFull on cyclic graph should fail")
+	}
+	var nilV *Vertex
+	if nilV.Unfold(3) != nil {
+		t.Fatal("nil unfold")
+	}
+}
+
+func TestSimulates(t *testing.T) {
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := g.Roots["d"]
+	if !Simulates(root, root) {
+		t.Fatal("reflexivity on cyclic graph")
+	}
+	if !GraphEquivalent(root, root) {
+		t.Fatal("GraphEquivalent reflexivity")
+	}
+	// Any finite prefix is simulated by the infinite tree.
+	finite := syntax.MustParseDocument(`a{a{a{a{!f}},!f}}`)
+	if !SimulatesTree(finite, root) {
+		t.Fatal("finite prefix not simulated by infinite unfolding")
+	}
+	// But a tree with a foreign label is not.
+	if SimulatesTree(syntax.MustParseDocument(`a{z}`), root) {
+		t.Fatal("foreign label simulated")
+	}
+	if !SimulatesTree(nil, root) {
+		t.Fatal("nil tree should be simulated")
+	}
+}
+
+func TestSimulatesDistinguishesGraphs(t *testing.T) {
+	sa := core.MustParseSystem("doc d = a{!f}\nfunc f = a{!f} :- ")
+	sb := core.MustParseSystem("doc d = a{b,!f}\nfunc f = a{b,!f} :- ")
+	ga, err := Build(sa, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := Build(sb, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Simulates(ga.Roots["d"], gb.Roots["d"]) {
+		t.Fatal("poorer infinite tree should be simulated by richer one")
+	}
+	if Simulates(gb.Roots["d"], ga.Roots["d"]) {
+		t.Fatal("richer infinite tree simulated by poorer one")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.String()
+	if !strings.Contains(out, "doc d -> v0") || !strings.Contains(out, "!f") {
+		t.Fatalf("String output:\n%s", out)
+	}
+}
+
+func TestMaxInstantiationsBound(t *testing.T) {
+	// A system generating many instantiations trips a tiny bound.
+	s := core.MustParseSystem(`
+doc d0 = r{v{1},v{2},v{3},v{4},v{5},v{6},v{7},v{8}}
+doc d = top{!f}
+func f = out{$x,$y} :- d0/r{v{$x}}, d0/r{v{$y}}
+`)
+	if _, err := Build(s, BuildOptions{MaxInstantiations: 5}); err == nil {
+		t.Fatal("instantiation bound not enforced")
+	}
+	if _, err := Build(s, BuildOptions{}); err != nil {
+		t.Fatalf("default bound too small: %v", err)
+	}
+}

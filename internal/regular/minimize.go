@@ -1,0 +1,125 @@
+package regular
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize returns a bisimulation-minimal copy of the graph: vertices
+// with the same marking and the same set of successor classes are merged,
+// by partition refinement to a fixpoint. The minimized graph unfolds to
+// the same trees (bisimilar vertices have identical unfoldings), so every
+// analysis — termination, queries, simulation — gives the same results on
+// it, usually over far fewer vertices; Lemma 3.2's finite representation
+// in its most compact form.
+func (g *Graph) Minimize() *Graph {
+	verts := g.allReachable()
+	// Initial partition: by (kind, name).
+	class := map[*Vertex]int{}
+	next := map[string]int{}
+	for _, v := range verts {
+		key := fmt.Sprintf("%d|%s", v.Kind, v.Name)
+		id, ok := next[key]
+		if !ok {
+			id = len(next)
+			next[key] = id
+		}
+		class[v] = id
+	}
+	// Refine: split classes by the set of successor classes.
+	for {
+		sig := map[*Vertex]string{}
+		for _, v := range verts {
+			succ := make([]int, 0, len(v.Children))
+			for _, c := range v.Children {
+				succ = append(succ, class[c])
+			}
+			sort.Ints(succ)
+			succ = dedupInts(succ)
+			parts := make([]string, len(succ))
+			for i, s := range succ {
+				parts[i] = fmt.Sprint(s)
+			}
+			sig[v] = fmt.Sprintf("%d~%s", class[v], strings.Join(parts, ","))
+		}
+		reassign := map[string]int{}
+		changed := false
+		for _, v := range verts {
+			id, ok := reassign[sig[v]]
+			if !ok {
+				id = len(reassign)
+				reassign[sig[v]] = id
+			}
+			if id != class[v] {
+				changed = true
+			}
+			class[v] = id
+		}
+		if !changed {
+			break
+		}
+	}
+	// Build the quotient.
+	min := &Graph{
+		Roots:    map[string]*Vertex{},
+		DocNames: append([]string(nil), g.DocNames...),
+		inst:     map[string]*Vertex{},
+		attached: map[attachKey]bool{},
+	}
+	rep := map[int]*Vertex{}
+	for _, v := range verts {
+		if _, ok := rep[class[v]]; !ok {
+			rep[class[v]] = min.newVertex(v.Kind, v.Name, nil)
+		}
+	}
+	done := map[int]bool{}
+	for _, v := range verts {
+		cid := class[v]
+		if done[cid] {
+			continue
+		}
+		done[cid] = true
+		seen := map[int]bool{}
+		for _, c := range v.Children {
+			if !seen[class[c]] {
+				seen[class[c]] = true
+				rep[cid].Children = append(rep[cid].Children, rep[class[c]])
+			}
+		}
+	}
+	for _, name := range g.DocNames {
+		min.Roots[name] = rep[class[g.Roots[name]]]
+	}
+	return min
+}
+
+func (g *Graph) allReachable() []*Vertex {
+	var out []*Vertex
+	seen := map[*Vertex]bool{}
+	var visit func(v *Vertex)
+	visit = func(v *Vertex) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		out = append(out, v)
+		for _, c := range v.Children {
+			visit(c)
+		}
+	}
+	for _, name := range g.DocNames {
+		visit(g.Roots[name])
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

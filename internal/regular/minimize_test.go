@@ -1,0 +1,96 @@
+package regular
+
+import (
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/syntax"
+)
+
+func TestMinimizeLoopSystem(t *testing.T) {
+	// Example 2.1's graph has a root a-vertex plus a shared a-vertex with
+	// a self-loop; root and shared vertex are bisimilar and collapse.
+	s := core.MustParseSystem(loopSystem)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := g.Minimize()
+	if got := min.VertexCount(); got != 2 { // the a-class and the !f-class
+		t.Fatalf("minimized vertices = %d, want 2\n%s", got, min)
+	}
+	if !min.HasCycle() {
+		t.Fatal("minimization lost the cycle")
+	}
+	// Unfoldings agree (up to reduction).
+	d1 := g.Roots["d"].Unfold(6)
+	d2 := min.Roots["d"].Unfold(6)
+	if d1.CanonicalString() != d2.CanonicalString() {
+		t.Fatalf("minimized unfolding differs:\n%s\nvs\n%s",
+			d1.CanonicalString(), d2.CanonicalString())
+	}
+	// Simulation equivalence between original and minimized roots.
+	if !GraphEquivalent(g.Roots["d"], min.Roots["d"]) {
+		t.Fatal("minimized graph not equivalent to the original")
+	}
+}
+
+func TestMinimizePreservesDistinctions(t *testing.T) {
+	s := core.MustParseSystem(`
+doc d = r{x{a{"1"}},y{a{"2"}}}
+`)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := g.Minimize()
+	// Nothing to merge: all subtrees differ.
+	if min.VertexCount() != g.VertexCount() {
+		t.Fatalf("minimize merged distinct subtrees: %d -> %d", g.VertexCount(), min.VertexCount())
+	}
+}
+
+func TestMinimizeMergesIsomorphicSubtrees(t *testing.T) {
+	s := core.MustParseSystem(`doc d = r{x{a{"1"}},y{a{"1"}}}`)
+	g, err := Build(s, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original has two copies of a{"1"}: 7 vertices. Minimized shares
+	// them: r, x, y, a, "1" = 5.
+	min := g.Minimize()
+	if min.VertexCount() != 5 {
+		t.Fatalf("vertices = %d, want 5\n%s", min.VertexCount(), min)
+	}
+	// Queries still answer identically.
+	q := syntax.MustParseQuery(`out{%l} :- d/r{%l{a{"1"}}}`)
+	a1, err := g.SnapshotQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := min.SnapshotQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.CanonicalString() != a2.CanonicalString() {
+		t.Fatalf("query answers differ after minimization: %s vs %s",
+			a1.CanonicalString(), a2.CanonicalString())
+	}
+}
+
+func TestMinimizeTerminationVerdictStable(t *testing.T) {
+	for _, src := range []string{
+		loopSystem,
+		tcSystem,
+		"doc d = a{!f}\nfunc f = b{c} :- ",
+	} {
+		s := core.MustParseSystem(src)
+		g, err := Build(s, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.HasCycle() != g.Minimize().HasCycle() {
+			t.Fatalf("minimization changed the termination verdict for %q", src)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package regular
+
+import (
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/syntax"
+)
+
+// Proposition 3.2(3): q-finiteness is decidable for simple positive
+// systems, even for non-simple queries.
+func TestQFiniteOverInfiniteSystem(t *testing.T) {
+	s := core.MustParseSystem(loopSystem) // d grows a{a{a{...}}} forever
+
+	// A non-simple query whose head copies the subtree under the root:
+	// the binding reaches the cycle, so [q](I) is infinite.
+	infinite := syntax.MustParseQuery(`out{#T} :- d/a{#T}`)
+	fin, _, err := QFinite(s, infinite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin {
+		t.Fatal("query copying the growing subtree reported finite")
+	}
+
+	// A simple query over the same infinite system is always finite.
+	simple := syntax.MustParseQuery(`hit :- d/a{a{a}}`)
+	fin, ans, err := QFinite(s, simple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin || len(ans) != 1 {
+		t.Fatalf("simple query: finite=%v ans=%v", fin, ans)
+	}
+
+	// A tree variable in the body only (not the head) does not make the
+	// result infinite: existence suffices.
+	bodyOnly := syntax.MustParseQuery(`hit :- d/a{#T}`)
+	fin, ans, err = QFinite(s, bodyOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin || len(ans) != 1 {
+		t.Fatalf("body-only tree var: finite=%v ans=%v", fin, ans)
+	}
+}
+
+func TestQFiniteMaterializesNonSimpleAnswers(t *testing.T) {
+	// Terminating system; non-simple query copies finite subtrees.
+	s := core.MustParseSystem(`
+doc store = r{item{name{"a"},tags{t1,t2}},item{name{"b"},tags{t3}},!noop}
+func noop = extra{marker} :- store/r{item{name{"a"}}}
+`)
+	q := syntax.MustParseQuery(`got{$n,#T} :- store/r{item{name{$n},tags{#T}}}`)
+	fin, ans, err := QFinite(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin {
+		t.Fatal("finite system reported infinite")
+	}
+	// Cross-check against the engine's full evaluation.
+	engine, err := s.EvalQuery(q, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.Exact {
+		t.Fatal("engine did not terminate")
+	}
+	if ans.CanonicalString() != engine.Answer.CanonicalString() {
+		t.Fatalf("graph %s != engine %s", ans.CanonicalString(), engine.Answer.CanonicalString())
+	}
+}
+
+func TestQFiniteMixedBranches(t *testing.T) {
+	// One branch grows forever, the other is static: a head tree var
+	// that can only bind in the static branch stays finite.
+	s := core.MustParseSystem(`
+doc d = root{static{data{"x"}},grow{!f}}
+func f = layer{!f} :-
+`)
+	finiteQ := syntax.MustParseQuery(`out{#T} :- d/root{static{#T}}`)
+	fin, ans, err := QFinite(s, finiteQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin || len(ans) != 1 {
+		t.Fatalf("static branch: finite=%v ans=%v", fin, ans)
+	}
+	infiniteQ := syntax.MustParseQuery(`out{#T} :- d/root{grow{#T}}`)
+	fin, _, err = QFinite(s, infiniteQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree var binds the layer subtree, which reaches the cycle.
+	// It can also bind !f itself (a func vertex, acyclic) — but some
+	// binding is infinite, making [q](I) infinite.
+	if fin {
+		t.Fatal("growing branch reported finite")
+	}
+}
+
+func TestQFiniteIneqAndMissingDoc(t *testing.T) {
+	s := core.MustParseSystem(`doc d = r{v{1},v{2}}`)
+	q := syntax.MustParseQuery(`p{$x,$y} :- d/r{v{$x},v{$y}}, $x != $y`)
+	fin, ans, err := QFinite(s, q)
+	if err != nil || !fin {
+		t.Fatalf("finite=%v err=%v", fin, err)
+	}
+	// p{"1","2"} and p{"2","1"} are the same unordered tree: one answer.
+	if len(ans) != 1 {
+		t.Fatalf("ans = %v", ans)
+	}
+	qm := syntax.MustParseQuery(`p :- nowhere/r`)
+	fin, ans, err = QFinite(s, qm)
+	if err != nil || !fin || len(ans) != 0 {
+		t.Fatalf("missing doc: finite=%v ans=%v err=%v", fin, ans, err)
+	}
+}

@@ -1,0 +1,75 @@
+package subsume_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+func buildWide(width int) *tree.Node {
+	root := tree.NewLabel("r")
+	for i := 0; i < width; i++ {
+		root.Children = append(root.Children, tree.NewLabel("item",
+			tree.NewValue(string(rune('a'+i%16)))))
+	}
+	return root
+}
+
+func buildDeep(depth int) *tree.Node {
+	n := tree.NewLabel("leaf")
+	for i := 0; i < depth; i++ {
+		n = tree.NewLabel("a", n, tree.NewValue("x"))
+	}
+	return n
+}
+
+func BenchmarkSubsumedWide(b *testing.B) {
+	x := buildWide(512)
+	y := buildWide(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !subsume.Subsumed(x, y) {
+			b.Fatal("expected subsumption")
+		}
+	}
+}
+
+func BenchmarkSubsumedDeep(b *testing.B) {
+	x := buildDeep(256)
+	y := buildDeep(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !subsume.Subsumed(x, y) {
+			b.Fatal("expected subsumption")
+		}
+	}
+}
+
+func BenchmarkReduceRedundant(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	root := tree.NewLabel("r")
+	for i := 0; i < 256; i++ {
+		c := tree.NewLabel("item", tree.NewValue(string(rune('a'+rng.Intn(8)))))
+		root.Children = append(root.Children, c, c.Copy())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subsume.Reduce(root)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := buildWide(128)
+	y := buildDeep(64)
+	y.Name = "r"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subsume.Union(x, y)
+	}
+}

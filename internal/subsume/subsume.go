@@ -1,0 +1,215 @@
+// Package subsume implements tree subsumption, equivalence, reduction and
+// least upper bounds for AXML documents (Definition 2.2 and Proposition 2.1
+// of the paper).
+//
+// A document d1 is subsumed by d2 (d1 ⊆ d2) when there is a mapping h from
+// the nodes of d1 to those of d2 sending root to root, preserving
+// parent/child edges and markings. On finite trees the existence of such a
+// homomorphism is decided bottom-up in polynomial time: n1 maps into n2 iff
+// their markings agree and every child of n1 maps into some child of n2.
+//
+// Reduction removes subtrees subsumed by a sibling; Proposition 2.1(2)
+// guarantees a unique reduced version up to isomorphism, which this package
+// computes in polynomial time.
+package subsume
+
+import (
+	"axml/internal/tree"
+)
+
+// Subsumed reports whether a ⊆ b.
+func Subsumed(a, b *tree.Node) bool {
+	if a == nil || b == nil {
+		return a == nil
+	}
+	c := newChecker()
+	return c.sub(a, b)
+}
+
+// Equivalent reports whether a ⊆ b and b ⊆ a (the paper's d1 ≡ d2).
+func Equivalent(a, b *tree.Node) bool {
+	return Subsumed(a, b) && Subsumed(b, a)
+}
+
+// checker memoizes subsumption between node pairs within one top-level
+// query. Trees are acyclic so the recursion is well-founded and each pair
+// is decided once.
+type checker struct {
+	memo map[[2]*tree.Node]bool
+}
+
+func newChecker() *checker {
+	return &checker{memo: make(map[[2]*tree.Node]bool)}
+}
+
+func (c *checker) sub(a, b *tree.Node) bool {
+	key := [2]*tree.Node{a, b}
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	ok := a.Kind == b.Kind && a.Name == b.Name
+	if ok {
+		for _, ca := range a.Children {
+			found := false
+			for _, cb := range b.Children {
+				if c.sub(ca, cb) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+	}
+	c.memo[key] = ok
+	return ok
+}
+
+// Reduce returns the reduced version of t: the unique (up to isomorphism)
+// equivalent tree with no subtree subsumed by a sibling. The input is not
+// modified.
+func Reduce(t *tree.Node) *tree.Node {
+	if t == nil {
+		return nil
+	}
+	return reduceInPlace(t.Copy())
+}
+
+// ReduceInPlace reduces t destructively and returns it. Children slices
+// are rewritten; subtrees that survive are themselves reduced.
+func ReduceInPlace(t *tree.Node) *tree.Node { return reduceInPlace(t) }
+
+func reduceInPlace(t *tree.Node) *tree.Node {
+	if t == nil {
+		return nil
+	}
+	for _, c := range t.Children {
+		reduceInPlace(c)
+	}
+	t.Children = pruneSiblings(t.Children)
+	return t
+}
+
+// pruneSiblings removes from the multiset every tree subsumed by another
+// sibling, keeping one representative of each equivalence class. Children
+// are assumed individually reduced.
+func pruneSiblings(children []*tree.Node) []*tree.Node {
+	if len(children) <= 1 {
+		return children
+	}
+	c := newChecker()
+	keep := make([]*tree.Node, 0, len(children))
+	for i, ci := range children {
+		dominated := false
+		for j, cj := range children {
+			if i == j {
+				continue
+			}
+			if c.sub(ci, cj) {
+				// ci ⊆ cj. Drop ci unless they are equivalent and
+				// ci comes first (keep the first representative).
+				if c.sub(cj, ci) {
+					if j < i {
+						dominated = true
+						break
+					}
+				} else {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			keep = append(keep, ci)
+		}
+	}
+	return keep
+}
+
+// IsReduced reports whether t contains no subtree subsumed by a sibling.
+func IsReduced(t *tree.Node) bool {
+	if t == nil {
+		return true
+	}
+	c := newChecker()
+	var rec func(n *tree.Node) bool
+	rec = func(n *tree.Node) bool {
+		for i, ci := range n.Children {
+			for j, cj := range n.Children {
+				if i != j && c.sub(ci, cj) && !(c.sub(cj, ci) && j > i) {
+					return false
+				}
+			}
+		}
+		for _, ci := range n.Children {
+			if !rec(ci) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(t)
+}
+
+// Union returns the least upper bound d ∪ d' of two trees with the same
+// root marking: a tree with that root and all children subtrees of both,
+// reduced. It returns nil if the roots are incomparable (different
+// markings). Inputs are not modified.
+func Union(a, b *tree.Node) *tree.Node {
+	if a == nil {
+		return Reduce(b)
+	}
+	if b == nil {
+		return Reduce(a)
+	}
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return nil
+	}
+	u := &tree.Node{Kind: a.Kind, Name: a.Name}
+	for _, c := range a.Children {
+		u.Children = append(u.Children, c.Copy())
+	}
+	for _, c := range b.Children {
+		u.Children = append(u.Children, c.Copy())
+	}
+	return reduceInPlace(u)
+}
+
+// ForestSubsumed reports whether forest a is subsumed by forest b: every
+// tree of a is subsumed by some tree of b.
+func ForestSubsumed(a, b tree.Forest) bool {
+	for _, ta := range a {
+		found := false
+		for _, tb := range b {
+			if Subsumed(ta, tb) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ForestEquivalent reports mutual forest subsumption.
+func ForestEquivalent(a, b tree.Forest) bool {
+	return ForestSubsumed(a, b) && ForestSubsumed(b, a)
+}
+
+// ReduceForest returns a reduced version of the forest: every tree reduced
+// and no tree subsumed by another (one representative per equivalence
+// class). Inputs are not modified.
+func ReduceForest(f tree.Forest) tree.Forest {
+	reduced := make(tree.Forest, len(f))
+	for i, t := range f {
+		reduced[i] = Reduce(t)
+	}
+	kept := pruneSiblings(reduced)
+	out := make(tree.Forest, len(kept))
+	copy(out, kept)
+	return out
+}

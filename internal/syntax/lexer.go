@@ -1,0 +1,269 @@
+// Package syntax parses the paper's compact term syntax for AXML
+// documents, tree patterns, positive queries and whole systems.
+//
+// Documents:
+//
+//	directory{cd{title{"Body and Soul"}, !GetRating{"Body and Soul"}}}
+//
+// Labels are bare identifiers, atomic values are double-quoted strings (or
+// bare numbers), and function nodes — bold in the paper — are written with
+// a leading '!'. Children are brace-enclosed and comma-separated; order is
+// irrelevant.
+//
+// Patterns extend documents with variables: %x (label), $x (value),
+// ^f (function), #X (tree).
+//
+// Queries are rules "head :- body" where the body is a comma-separated
+// list of atoms doc/pattern and inequalities term != term:
+//
+//	songs{$x} :- doc1/directory{cd{title{$x}, rating{"***"}}}, $x != "Naima"
+//
+// System files are line-oriented:
+//
+//	# transitive closure (Example 3.2)
+//	doc  d0 = r{t{a{1}, b{2}}}
+//	doc  d1 = r{!g, !f}
+//	func g  = t{$x,$y} :- d0/r{t{$x,$y}}
+//	func f  = t{$x,$y} :- d1/r{t{$x,$z}}, d1/r{t{$z,$y}}
+package syntax
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted string, value stored unquoted
+	tokNumber // bare number, treated as an atomic value
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSlash
+	tokBang    // '!'
+	tokNeq     // '!='
+	tokTurnstile // ':-'
+	tokEquals  // '='
+	tokPercent // '%'
+	tokDollar  // '$'
+	tokCaret   // '^'
+	tokHash    // '#'
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSlash:
+		return "'/'"
+	case tokBang:
+		return "'!'"
+	case tokNeq:
+		return "'!='"
+	case tokTurnstile:
+		return "':-'"
+	case tokEquals:
+		return "'='"
+	case tokPercent:
+		return "'%'"
+	case tokDollar:
+		return "'$'"
+	case tokCaret:
+		return "'^'"
+	case tokHash:
+		return "'#'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// Error is a parse error carrying the byte offset in the input.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("syntax: offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '{':
+			l.pos++
+			l.emit(tokLBrace, "{", start)
+		case c == '}':
+			l.pos++
+			l.emit(tokRBrace, "}", start)
+		case c == ',':
+			l.pos++
+			l.emit(tokComma, ",", start)
+		case c == '/':
+			l.pos++
+			l.emit(tokSlash, "/", start)
+		case c == '=':
+			l.pos++
+			l.emit(tokEquals, "=", start)
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.emit(tokNeq, "!=", start)
+			} else {
+				l.pos++
+				l.emit(tokBang, "!", start)
+			}
+		case c == ':':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+				l.pos += 2
+				l.emit(tokTurnstile, ":-", start)
+			} else {
+				return nil, errf(start, "unexpected ':'")
+			}
+		case c == '%':
+			l.pos++
+			l.emit(tokPercent, "%", start)
+		case c == '$':
+			l.pos++
+			l.emit(tokDollar, "$", start)
+		case c == '^':
+			l.pos++
+			l.emit(tokCaret, "^", start)
+		case c == '#':
+			l.pos++
+			l.emit(tokHash, "#", start)
+		case c == '"':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokString, s, start)
+		case isDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && isDigit(rune(l.src[l.pos+1]))):
+			l.emit(tokNumber, l.lexNumber(), start)
+		case isIdentStart(rune(c)):
+			l.emit(tokIdent, l.lexIdent(), start)
+		default:
+			return nil, errf(start, "unexpected character %q", c)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return b.String(), nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return "", errf(start, "unterminated escape in string")
+			}
+			next := l.src[l.pos+1]
+			switch next {
+			case '"', '\\':
+				b.WriteByte(next)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", errf(l.pos, "unknown escape \\%c", next)
+			}
+			l.pos += 2
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", errf(start, "unterminated string")
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (isDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

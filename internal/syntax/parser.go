@@ -1,0 +1,502 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/tree"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.i] }
+func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.i].kind == k }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, errf(t.pos, "expected %s, found %s %q", k, t.kind, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) expectEOF() error {
+	if !p.at(tokEOF) {
+		t := p.peek()
+		return errf(t.pos, "unexpected trailing %s %q", t.kind, t.text)
+	}
+	return nil
+}
+
+// ParseDocument parses a tree in the compact syntax.
+func ParseDocument(src string) (*tree.Node, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustParseDocument is ParseDocument panicking on error; intended for
+// tests and package-level literals.
+func MustParseDocument(src string) *tree.Node {
+	n, err := ParseDocument(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParseForest parses a ";"-free comma-separated list? No: forests are
+// written as trees separated by ';' would complicate the lexer, so a
+// forest is written as one tree per call. ParseForest therefore accepts a
+// comma-separated list of trees and returns them in order.
+func ParseForest(src string) (tree.Forest, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out tree.Forest
+	for {
+		n, err := p.parseTree()
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseTree() (*tree.Node, error) {
+	t := p.next()
+	var n *tree.Node
+	switch t.kind {
+	case tokString, tokNumber:
+		return tree.NewValue(t.text), nil
+	case tokBang:
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		n = tree.NewFunc(id.text)
+	case tokIdent:
+		n = tree.NewLabel(t.text)
+	default:
+		return nil, errf(t.pos, "expected a tree node, found %s %q", t.kind, t.text)
+	}
+	if p.at(tokLBrace) {
+		children, err := p.parseTreeChildren()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = children
+	}
+	return n, nil
+}
+
+func (p *parser) parseTreeChildren() ([]*tree.Node, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []*tree.Node
+	for {
+		c, err := p.parseTree()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParsePattern parses a tree pattern, which may use the variable sigils.
+func ParsePattern(src string) (*pattern.Node, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustParsePattern is ParsePattern panicking on error.
+func MustParsePattern(src string) *pattern.Node {
+	n, err := ParsePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) parsePattern() (*pattern.Node, error) {
+	t := p.next()
+	var n *pattern.Node
+	switch t.kind {
+	case tokString, tokNumber:
+		return pattern.Value(t.text), nil
+	case tokBang:
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		n = pattern.Func(id.text)
+	case tokIdent:
+		n = pattern.Label(t.text)
+	case tokPercent, tokDollar, tokCaret, tokHash:
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokPercent:
+			n = pattern.LVar(id.text)
+		case tokDollar:
+			n = pattern.VVar(id.text)
+		case tokCaret:
+			n = pattern.FVar(id.text)
+		default:
+			n = pattern.TVar(id.text)
+		}
+	default:
+		return nil, errf(t.pos, "expected a pattern node, found %s %q", t.kind, t.text)
+	}
+	if p.at(tokLBrace) {
+		p.next()
+		for {
+			c, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+			if p.at(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// ParseQuery parses a positive query rule "head :- body" and validates it.
+func ParseQuery(src string) (*query.Query, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery panicking on error.
+func MustParseQuery(src string) *query.Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) parseQuery() (*query.Query, error) {
+	head, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	q := &query.Query{Head: head}
+	if _, err := p.expect(tokTurnstile); err != nil {
+		return nil, err
+	}
+	if p.at(tokEOF) {
+		return q, nil
+	}
+	for {
+		atom, ineq, err := p.parseBodyItem()
+		if err != nil {
+			return nil, err
+		}
+		if ineq != nil {
+			q.Ineqs = append(q.Ineqs, *ineq)
+		} else {
+			q.Body = append(q.Body, *atom)
+		}
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	return q, nil
+}
+
+// parseBodyItem parses either an atom "doc/pattern" or an inequality
+// "term != term".
+func (p *parser) parseBodyItem() (*query.Atom, *query.Ineq, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		// Could be an atom (ident '/') or a constant inequality is not
+		// possible (constants are quoted); identifiers start atoms.
+		name := p.next().text
+		if _, err := p.expect(tokSlash); err != nil {
+			return nil, nil, err
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &query.Atom{Doc: name, Pattern: pat}, nil, nil
+	case tokPercent, tokDollar, tokCaret, tokString, tokNumber:
+		left, err := p.parseIneqTerm()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokNeq); err != nil {
+			return nil, nil, err
+		}
+		right, err := p.parseIneqTerm()
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &query.Ineq{Left: left, Right: right}, nil
+	default:
+		return nil, nil, errf(t.pos, "expected an atom or inequality, found %s %q", t.kind, t.text)
+	}
+}
+
+func (p *parser) parseIneqTerm() (query.Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString, tokNumber:
+		return query.Constant(t.text), nil
+	case tokPercent, tokDollar, tokCaret:
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return query.Term{}, err
+		}
+		return query.Variable(id.text), nil
+	case tokHash:
+		return query.Term{}, errf(t.pos, "tree variables may not appear in inequalities")
+	default:
+		return query.Term{}, errf(t.pos, "expected an inequality term, found %s %q", t.kind, t.text)
+	}
+}
+
+// SystemSpec is the parsed form of a system file: named documents and
+// named positive service definitions, in file order.
+type SystemSpec struct {
+	Docs  []*tree.Document
+	Funcs []*query.Query // Name is the function name
+}
+
+// ParseSystem parses a line-oriented system file. Lines are either blank,
+// comments starting with '#', "doc NAME = TREE" or "func NAME = QUERY".
+// A definition may span several physical lines: lines are joined while
+// curly braces (outside quoted strings) remain unbalanced. Doc and func
+// names must be unique; reserved document names are rejected.
+func ParseSystem(src string) (*SystemSpec, error) {
+	spec := &SystemSpec{}
+	seenDocs := map[string]bool{}
+	seenFuncs := map[string]bool{}
+	lineStart := 0
+	lineNo := 0
+	pendingLine := 0
+	var pending strings.Builder
+	depth := 0
+	for lineStart <= len(src) {
+		lineEnd := lineStart
+		for lineEnd < len(src) && src[lineEnd] != '\n' {
+			lineEnd++
+		}
+		line := src[lineStart:lineEnd]
+		lineNo++
+		lineStart = lineEnd + 1
+		trimmed := trimSpace(line)
+		if pending.Len() == 0 {
+			if trimmed == "" || trimmed[0] == '#' {
+				continue
+			}
+			pendingLine = lineNo
+		}
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+		depth += braceBalance(line)
+		if depth > 0 {
+			continue
+		}
+		logical := pending.String()
+		pending.Reset()
+		depth = 0
+		if err := parseSystemLine(logical, pendingLine, spec, seenDocs, seenFuncs); err != nil {
+			return nil, err
+		}
+	}
+	if pending.Len() > 0 {
+		return nil, fmt.Errorf("syntax: line %d: unbalanced braces at end of input", pendingLine)
+	}
+	return spec, nil
+}
+
+// braceBalance counts '{' minus '}' outside double-quoted strings.
+func braceBalance(line string) int {
+	depth := 0
+	inString := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inString:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inString = false
+			}
+		case c == '"':
+			inString = true
+		case c == '{':
+			depth++
+		case c == '}':
+			depth--
+		}
+	}
+	return depth
+}
+
+func parseSystemLine(line string, lineNo int, spec *SystemSpec, seenDocs, seenFuncs map[string]bool) error {
+	trimmed := trimSpace(line)
+	if trimmed == "" || trimmed[0] == '#' {
+		return nil
+	}
+	kw, rest := splitWord(trimmed)
+	switch kw {
+	case "doc":
+		name, body, err := splitDef(rest, lineNo)
+		if err != nil {
+			return err
+		}
+		if name == tree.Input || name == tree.Context {
+			return fmt.Errorf("syntax: line %d: %w", lineNo, tree.ErrReservedName)
+		}
+		if seenDocs[name] {
+			return fmt.Errorf("syntax: line %d: duplicate document %q", lineNo, name)
+		}
+		seenDocs[name] = true
+		root, err := ParseDocument(body)
+		if err != nil {
+			return fmt.Errorf("syntax: line %d: %w", lineNo, err)
+		}
+		spec.Docs = append(spec.Docs, tree.NewDocument(name, root))
+		return nil
+	case "func":
+		name, body, err := splitDef(rest, lineNo)
+		if err != nil {
+			return err
+		}
+		if seenFuncs[name] {
+			return fmt.Errorf("syntax: line %d: duplicate function %q", lineNo, name)
+		}
+		seenFuncs[name] = true
+		q, err := ParseQuery(body)
+		if err != nil {
+			return fmt.Errorf("syntax: line %d: %w", lineNo, err)
+		}
+		q.Name = name
+		spec.Funcs = append(spec.Funcs, q)
+		return nil
+	default:
+		return fmt.Errorf("syntax: line %d: expected 'doc' or 'func', found %q", lineNo, kw)
+	}
+}
+
+func trimSpace(s string) string {
+	i, j := 0, len(s)
+	for i < j && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r') {
+		i++
+	}
+	for j > i && (s[j-1] == ' ' || s[j-1] == '\t' || s[j-1] == '\r') {
+		j--
+	}
+	return s[i:j]
+}
+
+func splitWord(s string) (word, rest string) {
+	i := 0
+	for i < len(s) && s[i] != ' ' && s[i] != '\t' {
+		i++
+	}
+	return s[:i], trimSpace(s[i:])
+}
+
+func splitDef(rest string, lineNo int) (name, body string, err error) {
+	name, after := splitWord(rest)
+	if name == "" {
+		return "", "", fmt.Errorf("syntax: line %d: missing name", lineNo)
+	}
+	if len(after) == 0 || after[0] != '=' {
+		return "", "", fmt.Errorf("syntax: line %d: expected '=' after name %q", lineNo, name)
+	}
+	return name, trimSpace(after[1:]), nil
+}

@@ -1,0 +1,237 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/pattern"
+	"axml/internal/tree"
+)
+
+func TestParseDocumentRoundTrip(t *testing.T) {
+	cases := []string{
+		`a`,
+		`"v"`,
+		`!f`,
+		`a{b,c}`,
+		`a{b{"1"},!f{"x",t{y}}}`,
+		`directory{cd{title{"L'amour"},singer{"Carla Bruni"},rating{"***"}},!FreeMusicDB{type{"Jazz"}}}`,
+	}
+	for _, src := range cases {
+		n, err := ParseDocument(src)
+		if err != nil {
+			t.Fatalf("ParseDocument(%q): %v", src, err)
+		}
+		back, err := ParseDocument(n.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", n.String(), err)
+		}
+		if !tree.Isomorphic(n, back) {
+			t.Fatalf("round trip changed %q into %q", src, back.String())
+		}
+	}
+}
+
+func TestParseDocumentNumbersAreValues(t *testing.T) {
+	n := MustParseDocument(`r{t{1,2},t{-3,4.5}}`)
+	var vals []string
+	n.Walk(func(nd, _ *tree.Node) bool {
+		if nd.Kind == tree.Value {
+			vals = append(vals, nd.Name)
+		}
+		return true
+	})
+	if len(vals) != 4 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestParseDocumentWhitespaceAndEscapes(t *testing.T) {
+	n := MustParseDocument(" a {\n\tb , \"x\\\"y\\n\" }\n")
+	if n.Name != "a" || len(n.Children) != 2 {
+		t.Fatalf("parsed %s", n)
+	}
+	if n.Children[1].Name != "x\"y\n" {
+		t.Fatalf("escape handling: %q", n.Children[1].Name)
+	}
+}
+
+func TestParseDocumentErrors(t *testing.T) {
+	bad := []string{
+		``, `a{`, `a{b`, `a}}`, `a{b,}`, `{a}`, `!`, `a b`, `"unterminated`,
+		`"bad\q"`, `a{"v"{b}}`, `:`, `a$`, `&x`,
+	}
+	for _, src := range bad {
+		if _, err := ParseDocument(src); err == nil {
+			t.Errorf("ParseDocument(%q) accepted", src)
+		}
+	}
+}
+
+func TestParsePatternVariables(t *testing.T) {
+	p := MustParsePattern(`songs{$x,%l{#T},^f}`)
+	if p.Kind != pattern.ConstLabel {
+		t.Fatalf("root kind %v", p.Kind)
+	}
+	kinds := map[string]pattern.Kind{}
+	if err := p.Vars(kinds); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]pattern.Kind{
+		"x": pattern.VarValue,
+		"l": pattern.VarLabel,
+		"T": pattern.VarTree,
+		"f": pattern.VarFunc,
+	}
+	for v, k := range want {
+		if kinds[v] != k {
+			t.Errorf("var %s kind = %v, want %v", v, kinds[v], k)
+		}
+	}
+	// Round trip.
+	back := MustParsePattern(p.String())
+	if back.String() != p.String() {
+		t.Fatalf("round trip %q -> %q", p.String(), back.String())
+	}
+}
+
+func TestParsePatternRejectsNonLeafValueVars(t *testing.T) {
+	if _, err := ParsePattern(`a{$x{b}}`); err == nil {
+		t.Error("value variable with children accepted")
+	}
+	if _, err := ParsePattern(`a{#T{b}}`); err == nil {
+		t.Error("tree variable with children accepted")
+	}
+}
+
+func TestParseQueryPaperExample(t *testing.T) {
+	q := MustParseQuery(`songs{$x} :- doc1/directory{cd{title{$x},singer{"Carla Bruni"},rating{"***"}}}`)
+	if len(q.Body) != 1 || q.Body[0].Doc != "doc1" {
+		t.Fatalf("body = %v", q.Body)
+	}
+	if !q.IsSimple() {
+		t.Fatal("paper's query is simple")
+	}
+	if got := q.DocNames(); len(got) != 1 || got[0] != "doc1" {
+		t.Fatalf("DocNames = %v", got)
+	}
+}
+
+func TestParseQueryInequalitiesAndEmptyBody(t *testing.T) {
+	q := MustParseQuery(`z{$x,$y} :- d/r{a{$x},b{$y}}, $x != $y, $x != "5"`)
+	if len(q.Ineqs) != 2 {
+		t.Fatalf("ineqs = %v", q.Ineqs)
+	}
+	empty := MustParseQuery(`a{!f} :- `)
+	if len(empty.Body) != 0 {
+		t.Fatal("empty body parsed wrong")
+	}
+	if s := empty.String(); !strings.HasPrefix(s, "a{!f} :- ") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestParseQueryValidationErrors(t *testing.T) {
+	bad := []string{
+		`a{$x} :- `,                        // unsafe head variable
+		`a :- d/r{#T,x{#T}}`,               // tree variable twice in body
+		`a :- d/r{$x}, #T != $x`,           // tree variable in inequality
+		`a{$x} :- d/r{%x}`,                 // kind conflict head/body
+		`a :- d/r{$x{y}}`,                  // value var with children
+		`a :- d/r, $z != "1"`,              // inequality var unbound
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseQueryTreeVarTwiceAcrossAtoms(t *testing.T) {
+	if _, err := ParseQuery(`a{#T} :- d/r{#T}, e/s{#T}`); err == nil {
+		t.Error("tree variable occurring in two atoms accepted")
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	src := `
+# Example 3.2: transitive closure
+doc  d0 = r{t{a{1},b{2}},t{a{2},b{3}}}
+doc  d1 = r{!g,!f}
+
+func g = t{a{$x},b{$y}} :- d0/r{t{a{$x},b{$y}}}
+func f = t{a{$x},b{$y}} :- d1/r{t{a{$x},b{$z}}}, d1/r{t{a{$z},b{$y}}}
+`
+	spec, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Docs) != 2 || len(spec.Funcs) != 2 {
+		t.Fatalf("spec = %d docs, %d funcs", len(spec.Docs), len(spec.Funcs))
+	}
+	if spec.Funcs[0].Name != "g" || spec.Funcs[1].Name != "f" {
+		t.Fatalf("func names: %q %q", spec.Funcs[0].Name, spec.Funcs[1].Name)
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	bad := []string{
+		`doc input = a`,
+		`doc context = a`,
+		"doc d = a\ndoc d = b",
+		"func f = a :- \nfunc f = a :- ",
+		`doc d`,
+		`doc = a`,
+		`banana d = a`,
+		`doc d = a{`,
+		`func f = a{$x} :- `,
+	}
+	for _, src := range bad {
+		if _, err := ParseSystem(src); err == nil {
+			t.Errorf("ParseSystem(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseForest(t *testing.T) {
+	f, err := ParseForest(`a{b}, c, "v"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 3 {
+		t.Fatalf("forest size %d", len(f))
+	}
+	if _, err := ParseForest(`a{b},`); err == nil {
+		t.Error("trailing comma accepted")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"doc":     func() { MustParseDocument(`a{`) },
+		"pattern": func() { MustParsePattern(`{`) },
+		"query":   func() { MustParseQuery(`a{$x} :- `) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Must %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	_, err := ParseDocument(`a{&}`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if se, ok := err.(*Error); !ok || se.Pos == 0 && se.Msg == "" {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error message %q lacks offset", err)
+	}
+}

@@ -1,0 +1,92 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Document is a named AXML document: a document name from the domain D
+// bound to a tree.
+type Document struct {
+	Name string
+	Root *Node
+}
+
+// NewDocument binds name to root.
+func NewDocument(name string, root *Node) *Document {
+	return &Document{Name: name, Root: root}
+}
+
+// Copy returns a deep copy of the document.
+func (d *Document) Copy() *Document {
+	if d == nil {
+		return nil
+	}
+	return &Document{Name: d.Name, Root: d.Root.Copy()}
+}
+
+// String renders the document as "name/tree" in the compact syntax.
+func (d *Document) String() string {
+	if d.Root == nil {
+		return d.Name + "/"
+	}
+	return d.Name + "/" + d.Root.String()
+}
+
+// Forest is an unordered set of trees, the result type of Web services in
+// the paper ("a forest of AXML documents").
+type Forest []*Node
+
+// Copy deep-copies every tree of the forest.
+func (f Forest) Copy() Forest {
+	if f == nil {
+		return nil
+	}
+	out := make(Forest, len(f))
+	for i, t := range f {
+		out[i] = t.Copy()
+	}
+	return out
+}
+
+// Size returns the total node count across the forest.
+func (f Forest) Size() int {
+	s := 0
+	for _, t := range f {
+		s += t.Size()
+	}
+	return s
+}
+
+// CanonicalString renders the forest as its trees' canonical strings,
+// sorted and joined by ";". Two forests are equal as multisets of
+// unordered trees iff their canonical strings are equal.
+func (f Forest) CanonicalString() string {
+	parts := make([]string, len(f))
+	for i, t := range f {
+		parts[i] = t.CanonicalString()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// String renders the forest in current order, joined by ";".
+func (f Forest) String() string {
+	parts := make([]string, len(f))
+	for i, t := range f {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Reserved document names: every service implicitly receives its call
+// parameters as the document named Input and the subtree rooted at the
+// call's parent as the document named Context (Section 2.2).
+const (
+	Input   = "input"
+	Context = "context"
+)
+
+// ErrReservedName is returned when a system document uses a reserved name.
+var ErrReservedName = fmt.Errorf("tree: %q and %q are reserved document names", Input, Context)

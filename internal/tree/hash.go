@@ -1,0 +1,58 @@
+package tree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Hash is a structural digest of an unordered tree. Two isomorphic trees
+// always have equal hashes; distinct trees collide only with cryptographic
+// improbability (SHA-256 based), which the rewriting engine accepts in
+// exchange for O(n) equivalence checks on reduced documents — the
+// canonical-string comparison is O(n²) on deep trees.
+type Hash [32]byte
+
+// CanonicalHash computes the structural digest of the subtree rooted at n:
+// a Merkle-style hash over (kind, name, sorted child hashes). It runs in
+// O(n·b log b) time and O(depth) extra space.
+func (n *Node) CanonicalHash() Hash {
+	if n == nil {
+		return Hash{}
+	}
+	var kids []Hash
+	if len(n.Children) > 0 {
+		kids = make([]Hash, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = c.CanonicalHash()
+		}
+		sort.Slice(kids, func(i, j int) bool {
+			return compareHash(kids[i], kids[j]) < 0
+		})
+	}
+	h := sha256.New()
+	var hdr [9]byte
+	hdr[0] = byte(n.Kind)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(n.Name)))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(kids)))
+	h.Write(hdr[:])
+	h.Write([]byte(n.Name))
+	for _, k := range kids {
+		h.Write(k[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func compareHash(a, b Hash) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}

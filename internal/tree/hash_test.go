@@ -1,0 +1,80 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalHashMatchesCanonicalString(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomTree(rand.New(rand.NewSource(seedA)), 4)
+		b := randomTree(rand.New(rand.NewSource(seedB)), 4)
+		sameString := a.CanonicalString() == b.CanonicalString()
+		sameHash := a.CanonicalHash() == b.CanonicalHash()
+		return sameString == sameHash
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalHashShuffleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTree(rng, 4)
+		return n.CanonicalHash() == shuffleTree(rng, n).CanonicalHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	cases := [][2]string{
+		{"a", "b"},
+		{"a", "a-with-children"},
+	}
+	_ = cases
+	a := NewLabel("a")
+	b := NewLabel("b")
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Fatal("labels a/b collide")
+	}
+	withChild := NewLabel("a", NewLabel("b"))
+	if a.CanonicalHash() == withChild.CanonicalHash() {
+		t.Fatal("leaf vs parent collide")
+	}
+	// Kinds matter.
+	if NewLabel("x").CanonicalHash() == NewValue("x").CanonicalHash() {
+		t.Fatal("label/value collide")
+	}
+	if NewFunc("x").CanonicalHash() == NewValue("x").CanonicalHash() {
+		t.Fatal("func/value collide")
+	}
+	// Name-boundary trick: a{bc} vs ab{c} style ambiguity must not
+	// collide thanks to explicit length framing.
+	x := NewLabel("ab", NewLabel("c"))
+	y := NewLabel("a", NewLabel("bc"))
+	if x.CanonicalHash() == y.CanonicalHash() {
+		t.Fatal("length framing failed")
+	}
+	var nilNode *Node
+	if nilNode.CanonicalHash() != (Hash{}) {
+		t.Fatal("nil hash should be zero")
+	}
+}
+
+func TestCompareHashTotalOrder(t *testing.T) {
+	a := NewLabel("a").CanonicalHash()
+	b := NewLabel("b").CanonicalHash()
+	if compareHash(a, a) != 0 {
+		t.Fatal("compareHash(a,a) != 0")
+	}
+	if compareHash(a, b) == 0 {
+		t.Fatal("distinct hashes compare equal")
+	}
+	if compareHash(a, b) != -compareHash(b, a) {
+		t.Fatal("compareHash not antisymmetric")
+	}
+}

@@ -1,0 +1,163 @@
+package turing
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/tree"
+)
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "")
+}
+
+func TestInterpreterUnaryIncrement(t *testing.T) {
+	m := UnaryIncrement()
+	for n := 0; n <= 5; n++ {
+		in := split(strings.Repeat("1", n))
+		out, ok := m.Run(in, 1000)
+		if !ok {
+			t.Fatalf("n=%d: did not accept", n)
+		}
+		if len(out) != n+1 {
+			t.Fatalf("n=%d: output %v", n, out)
+		}
+	}
+}
+
+func TestInterpreterBinarySuccessor(t *testing.T) {
+	cases := map[string]string{
+		"0":   "1",
+		"1":   "01",
+		"11":  "001",
+		"011": "111",
+		"101": "011",
+		"111": "0001",
+	}
+	m := BinarySuccessor()
+	for in, want := range cases {
+		out, ok := m.Run(split(in), 1000)
+		if !ok {
+			t.Fatalf("%s: did not accept", in)
+		}
+		if strings.Join(out, "") != want {
+			t.Fatalf("%s: got %v, want %s", in, out, want)
+		}
+	}
+}
+
+func TestTapeCodecRoundTrip(t *testing.T) {
+	for _, cells := range [][]string{nil, {"1"}, {"0", "1", "0"}, {"a", "b", "c", "d"}} {
+		enc := EncodeTape(cells)
+		dec, err := DecodeTape(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(dec, ",") != strings.Join(cells, ",") {
+			t.Fatalf("round trip %v -> %v", cells, dec)
+		}
+	}
+	if _, err := DecodeTape(tree.NewLabel("junk")); err == nil {
+		t.Fatal("junk tape decoded")
+	}
+}
+
+// Lemma 3.1: the AXML simulation reproduces the machine's output.
+func TestLemma31SimulationMatchesInterpreter(t *testing.T) {
+	machines := []*Machine{UnaryIncrement(), BinarySuccessor(), ParityMarker()}
+	inputs := map[string][][]string{
+		"unary-increment":  {nil, split("1"), split("111")},
+		"binary-successor": {split("1"), split("11"), split("011")},
+		"parity":           {split("1"), split("11"), split("111")},
+	}
+	for _, m := range machines {
+		for _, in := range inputs[m.Name] {
+			wantOut, wantOK := m.Run(in, 10000)
+			res, err := Simulate(m, in, 20000)
+			if err != nil {
+				t.Fatalf("%s(%v): %v", m.Name, in, err)
+			}
+			if res.Accepted != wantOK {
+				t.Fatalf("%s(%v): accepted=%v, interpreter=%v", m.Name, in, res.Accepted, wantOK)
+			}
+			if strings.Join(res.Output, "") != strings.Join(wantOut, "") {
+				t.Fatalf("%s(%v): output %v, interpreter %v", m.Name, in, res.Output, wantOut)
+			}
+			if res.Configs < 2 {
+				t.Fatalf("%s(%v): configurations did not accumulate (%d)", m.Name, in, res.Configs)
+			}
+		}
+	}
+}
+
+// The simulation system terminates for halting machines (no rule leaves
+// the accept state, extensions are bounded).
+func TestSimulationTerminates(t *testing.T) {
+	s, err := Compile(BinarySuccessor(), split("11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(core.RunOptions{MaxSteps: 20000})
+	if !res.Terminated {
+		t.Fatalf("simulation did not terminate: %+v", res)
+	}
+}
+
+// A looping machine yields a non-terminating system: the concrete face of
+// Corollary 3.1 (termination undecidability via this embedding).
+func TestLoopingMachineDoesNotTerminate(t *testing.T) {
+	loop := &Machine{
+		Name:   "loop",
+		Start:  "s",
+		Accept: "acc",
+		Blank:  "_",
+		Rules: []Rule{
+			{State: "s", Read: "_", Write: "1", Move: Right, Next: "s"},
+			{State: "s", Read: "1", Write: "1", Move: Right, Next: "s"},
+		},
+	}
+	res, err := Simulate(loop, nil, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Terminated {
+		t.Fatal("looping machine terminated")
+	}
+	if res.Accepted {
+		t.Fatal("looping machine accepted")
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	bad := &Machine{Name: "bad", Start: "s", Accept: "a", Blank: "_",
+		Rules: []Rule{{State: "a", Read: "_", Write: "_", Move: Right, Next: "s"}}}
+	if _, err := Compile(bad, nil); err == nil {
+		t.Fatal("rule leaving accept state not rejected")
+	}
+	badMove := &Machine{Name: "bad", Start: "s", Accept: "a", Blank: "_",
+		Rules: []Rule{{State: "s", Read: "_", Write: "_", Move: 0, Next: "s"}}}
+	if _, err := Compile(badMove, nil); err == nil {
+		t.Fatal("invalid move not rejected")
+	}
+	if _, err := Compile(&Machine{Name: "x"}, nil); err == nil {
+		t.Fatal("empty machine not rejected")
+	}
+}
+
+// The compiled system is positive but not simple (tree variables).
+func TestCompiledSystemShape(t *testing.T) {
+	s, err := Compile(UnaryIncrement(), split("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsPositive() {
+		t.Fatal("compiled system not positive")
+	}
+	if s.IsSimple() {
+		t.Fatal("compiled system should not be simple (tree variables copy tapes)")
+	}
+}

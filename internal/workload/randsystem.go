@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"axml/internal/core"
+	"axml/internal/pattern"
+	"axml/internal/query"
+	"axml/internal/tree"
+)
+
+// SystemConfig controls RandomSimpleSystem.
+type SystemConfig struct {
+	// Docs is the number of documents (default 2).
+	Docs int
+	// Funcs is the number of services (default 3).
+	Funcs int
+	// Items is the number of item tuples per document (default 4).
+	Items int
+	// Values is the value domain size (default 5).
+	Values int
+	// RecursionProb is the probability that a service head emits a call
+	// (default 0.4) — the source of potential non-termination.
+	RecursionProb float64
+	// CallsPerDoc is the number of calls sprinkled in each document
+	// (default 2).
+	CallsPerDoc int
+}
+
+func (c *SystemConfig) defaults() {
+	if c.Docs <= 0 {
+		c.Docs = 2
+	}
+	if c.Funcs <= 0 {
+		c.Funcs = 3
+	}
+	if c.Items <= 0 {
+		c.Items = 4
+	}
+	if c.Values <= 0 {
+		c.Values = 5
+	}
+	if c.RecursionProb == 0 {
+		c.RecursionProb = 0.4
+	}
+	if c.CallsPerDoc <= 0 {
+		c.CallsPerDoc = 2
+	}
+}
+
+// RandomSimpleSystem generates a random *simple positive* system: every
+// service is a conjunctive query without tree variables. The generator is
+// shaped so both terminating and non-terminating systems appear, which
+// the cross-validation tests exploit (graph decision vs budgeted engine).
+func RandomSimpleSystem(rng *rand.Rand, cfg SystemConfig) *core.System {
+	cfg.defaults()
+	s := core.NewSystem()
+	docName := func(i int) string { return fmt.Sprintf("d%d", i) }
+	funcName := func(i int) string { return fmt.Sprintf("f%d", i) }
+
+	// Services first (documents reference them).
+	for i := 0; i < cfg.Funcs; i++ {
+		q := randomServiceQuery(rng, cfg, funcName(i), docName)
+		mustAdd(s.AddQuery(q))
+	}
+	for i := 0; i < cfg.Docs; i++ {
+		root := tree.NewLabel("r")
+		for j := 0; j < cfg.Items; j++ {
+			root.Children = append(root.Children, tree.NewLabel("item",
+				tree.NewValue(fmt.Sprintf("v%d", rng.Intn(cfg.Values)))))
+		}
+		for j := 0; j < cfg.CallsPerDoc; j++ {
+			root.Children = append(root.Children, tree.NewFunc(funcName(rng.Intn(cfg.Funcs))))
+		}
+		mustAdd(s.AddDocument(tree.NewDocument(docName(i), root)))
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// randomServiceQuery builds a random simple query. Shapes:
+//   - copy:    item{$x}            :- dj/r{item{$x}}
+//   - tag:     out{$x,"c"}         :- dj/r{item{$x}}
+//   - wrapcall item{$x,!fk}        :- dj/r{item{$x}}   (possible recursion)
+//   - join:    pair{$x,$y}         :- dj/r{item{$x}}, dk/r{item{$y}}, $x != $y
+//   - const:   extra{"c"[,!fk]}    :-                  (empty body)
+func randomServiceQuery(rng *rand.Rand, cfg SystemConfig, name string, docName func(int) string) *query.Query {
+	xVar := pattern.VVar("x")
+	atom := func(v string) query.Atom {
+		return query.Atom{
+			Doc:     docName(rng.Intn(cfg.Docs)),
+			Pattern: pattern.Label("r", pattern.Label("item", pattern.VVar(v))),
+		}
+	}
+	callee := func() *pattern.Node {
+		return pattern.Func(fmt.Sprintf("f%d", rng.Intn(cfg.Funcs)))
+	}
+	q := &query.Query{Name: name}
+	switch rng.Intn(5) {
+	case 0:
+		q.Head = pattern.Label("item", xVar)
+		q.Body = []query.Atom{atom("x")}
+	case 1:
+		q.Head = pattern.Label("out", xVar, pattern.Value(fmt.Sprintf("c%d", rng.Intn(3))))
+		q.Body = []query.Atom{atom("x")}
+	case 2:
+		head := pattern.Label("item", xVar)
+		if rng.Float64() < cfg.RecursionProb {
+			head.Children = append(head.Children, callee())
+		}
+		q.Head = head
+		q.Body = []query.Atom{atom("x")}
+	case 3:
+		q.Head = pattern.Label("pair", pattern.Label("a", pattern.VVar("x")), pattern.Label("b", pattern.VVar("y")))
+		q.Body = []query.Atom{atom("x"), atom("y")}
+		q.Ineqs = []query.Ineq{{Left: query.Variable("x"), Right: query.Variable("y")}}
+	default:
+		head := pattern.Label("extra", pattern.Value(fmt.Sprintf("k%d", rng.Intn(3))))
+		if rng.Float64() < cfg.RecursionProb {
+			head.Children = append(head.Children, callee())
+		}
+		q.Head = head
+	}
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	return q
+}
