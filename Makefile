@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency-sensitive peer tests (lock gates released mid-sweep,
+# self-call and peer-cycle regressions) must stay clean under the race
+# detector.
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verify: build + tests, extended with go vet and the race detector.
+verify: build vet test race

@@ -140,12 +140,48 @@ type (
 	RunOptions = core.RunOptions
 	// RunResult reports a rewriting run.
 	RunResult = core.RunResult
+	// ErrorPolicy selects fail-fast or degraded handling of service
+	// errors during a run.
+	ErrorPolicy = core.ErrorPolicy
 	// Scheduler orders call attempts within a fair sweep.
 	Scheduler = core.Scheduler
 	// EvalResult is the outcome of a full query evaluation.
 	EvalResult = core.EvalResult
 	// DepGraph is the dependency graph of Definition 3.2.
 	DepGraph = core.DepGraph
+)
+
+// Error policies for RunOptions.ErrorPolicy.
+const (
+	// FailFast aborts a run on the first service error.
+	FailFast = core.FailFast
+	// Degrade quarantines failing calls and keeps sweeping; safe by
+	// confluence (Theorem 2.1).
+	Degrade = core.Degrade
+)
+
+// Fault tolerance: composable service middlewares (see internal/core).
+type (
+	// Retry re-invokes a failing service with exponential backoff.
+	Retry = core.Retry
+	// Timeout bounds a single service invocation.
+	Timeout = core.Timeout
+	// Breaker is a circuit breaker around a service.
+	Breaker = core.Breaker
+	// HardenOptions configures Harden.
+	HardenOptions = core.HardenOptions
+)
+
+// Fault-tolerance entry points and sentinel errors.
+var (
+	// Harden wraps a service in Breaker{Retry{Timeout{svc}}}.
+	Harden = core.Harden
+	// Innermost unwraps a middleware stack to its base service.
+	Innermost = core.Innermost
+	// ErrTimeout is wrapped by Timeout on expiry.
+	ErrTimeout = core.ErrTimeout
+	// ErrBreakerOpen is wrapped by Breaker when it short-circuits.
+	ErrBreakerOpen = core.ErrBreakerOpen
 )
 
 // System constructors and schedulers.

@@ -7,6 +7,11 @@
 //
 //	axml-peer -listen :8080 -system portal.axml \
 //	    -remote GetRating=http://ratings.example:8081
+//
+// Every remote binding is wrapped in the fault-tolerance stack
+// Breaker{Retry{Timeout{...}}} configured by -retries, -retry-base,
+// -timeout, -breaker-failures and -breaker-cooldown; -degrade makes local
+// sweeps quarantine failing calls and keep going instead of aborting.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"axml/internal/core"
 	"axml/internal/peer"
@@ -26,6 +32,12 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	systemFile := flag.String("system", "", "system file to serve")
 	name := flag.String("name", "peer", "peer name for logs")
+	retries := flag.Int("retries", 3, "attempts per remote invocation (1 disables retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per retry, jittered)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt deadline for remote invocations (0 disables)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures opening the circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "open period before the breaker half-opens")
+	degrade := flag.Bool("degrade", false, "quarantine failing calls during sweeps instead of aborting")
 	var remotes remoteFlags
 	flag.Var(&remotes, "remote", "remote service binding NAME=URL (repeatable)")
 	flag.Parse()
@@ -45,8 +57,24 @@ func main() {
 		log.Fatal(err)
 	}
 	sys := core.NewSystem()
+	harden := core.HardenOptions{
+		Attempts:        *retries,
+		BaseDelay:       *retryBase,
+		BreakerOpensAt:  *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+	}
+	// The per-attempt deadline lives in the HTTP client, not in a
+	// core.Timeout layer: peer.AttachGates will gate these remotes on the
+	// peer lock, and a gated stack must not contain a Timeout (see its
+	// doc). Clients share http.DefaultTransport, so the keep-alive pool
+	// is shared too.
+	var client *http.Client
+	if *timeout > 0 {
+		client = &http.Client{Timeout: *timeout}
+	}
 	for _, r := range remotes {
-		if err := sys.AddService(&peer.RemoteService{Name: r.name, URL: r.url}); err != nil {
+		svc := core.Harden(&peer.RemoteService{Name: r.name, URL: r.url, Client: client}, harden)
+		if err := sys.AddService(svc); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -64,6 +92,9 @@ func main() {
 		log.Fatal(err)
 	}
 	p := peer.New(*name, sys)
+	if *degrade {
+		p.ErrorPolicy = core.Degrade
+	}
 	log.Printf("axml-peer %s serving %s on %s (docs: %v, services: %v)",
 		*name, *systemFile, *listen, sys.DocNames(), sys.FuncNames())
 	log.Fatal(http.ListenAndServe(*listen, p.Handler()))

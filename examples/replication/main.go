@@ -10,7 +10,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http/httptest"
+	"time"
 
 	"axml"
 	"axml/internal/peer"
@@ -49,6 +51,37 @@ func NewArrivals = item{"cool-jazz"} :-
 	fmt.Printf("\nconverged after %d round(s), stable=%v, %d syncs total\n",
 		rounds, stable, m.Syncs)
 	show(local, "after convergence")
+
+	// Part 2: the same catalog pulled over an unreliable wire. Services
+	// are deterministic monotone functions, so retrying a failed call is
+	// always safe (Theorem 2.1: the final state is order-independent) —
+	// the fault-tolerance layer exploits exactly that. We inject a
+	// deterministic failure on every 2nd invocation, absorb it with a
+	// retrying wrapper, and run with the Degrade policy so even an
+	// exhausted retry budget would only defer the call, not kill the run.
+	flaky := &axml.FaultService{
+		Service:    &peer.RemoteService{Name: "NewArrivals", URL: srv.URL},
+		ErrorEvery: 2,
+	}
+	hardened := &axml.Retry{
+		Service:   flaky,
+		Attempts:  4,
+		BaseDelay: time.Millisecond,
+		Rng:       rand.New(rand.NewSource(1)),
+	}
+	pullSys := axml.NewSystem()
+	if err := pullSys.AddDocument(axml.NewDocument("shelf",
+		axml.MustParseDocument(`cat{!NewArrivals}`))); err != nil {
+		log.Fatal(err)
+	}
+	if err := pullSys.AddService(hardened); err != nil {
+		log.Fatal(err)
+	}
+	res := pullSys.Run(axml.RunOptions{ErrorPolicy: axml.Degrade})
+	fmt.Printf("\nflaky pull: terminated=%v steps=%d surfaced-failures=%d (injected=%d, retries=%d, recovered=%d)\n",
+		res.Terminated, res.Steps, res.Failures,
+		flaky.Injected(), hardened.Retries(), hardened.Recovered())
+	fmt.Printf("shelf after flaky pull:\n%s", pullSys.Document("shelf").Root.Indent())
 }
 
 func show(p *axml.Peer, when string) {

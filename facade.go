@@ -2,6 +2,7 @@ package axml
 
 import (
 	"axml/internal/datalog"
+	"axml/internal/faults"
 	"axml/internal/peer"
 	"axml/internal/tree"
 	"axml/internal/turing"
@@ -47,6 +48,22 @@ var (
 	MarshalTree = peer.MarshalTree
 	// UnmarshalTree parses the XML wire format.
 	UnmarshalTree = peer.UnmarshalTree
+)
+
+// Fault injection (testing the fault-tolerance layer without real flaky
+// networks; see internal/faults).
+type (
+	// FaultService injects deterministic, seedable failures and latency
+	// into a service.
+	FaultService = faults.FaultService
+)
+
+// Fault-injection entry points.
+var (
+	// FlakyHandler fails every k-th HTTP request with 502.
+	FlakyHandler = faults.FlakyHandler
+	// ErrInjected is wrapped by every injected failure.
+	ErrInjected = faults.ErrInjected
 )
 
 // Datalog substrate (Example 3.2 and the QSQ companion technique).

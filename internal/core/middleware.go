@@ -1,0 +1,391 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"axml/internal/tree"
+)
+
+// Fault-tolerance middlewares. The paper's model makes failure handling
+// semantically trivial: services are deterministic monotone functions that
+// may be invoked any number of times in any fair order, and Theorem 2.1
+// guarantees the final state is order-independent — so retrying, delaying
+// or re-running a failed invocation can never corrupt the system, only
+// postpone information. These wrappers exploit that freedom around any
+// Service (local or remote): Retry re-attempts with exponential backoff,
+// Timeout bounds a single attempt, and Breaker sheds load from an endpoint
+// that keeps failing. They compose: Breaker{Retry{Timeout{svc}}} is the
+// conventional stack (a fully-retried failure counts once against the
+// breaker; each attempt gets its own deadline).
+
+// Wrapper is implemented by services that decorate another service.
+// Unwrap returns the decorated service, letting callers reach through a
+// middleware stack (see Innermost).
+type Wrapper interface {
+	Unwrap() Service
+}
+
+// Innermost follows Unwrap links to the base service of a middleware
+// stack; a plain service is returned unchanged.
+func Innermost(svc Service) Service {
+	for {
+		w, ok := svc.(Wrapper)
+		if !ok {
+			return svc
+		}
+		inner := w.Unwrap()
+		if inner == nil {
+			return svc
+		}
+		svc = inner
+	}
+}
+
+// Defaults for the middlewares' zero-valued knobs.
+const (
+	DefaultRetryAttempts   = 3
+	DefaultRetryBase       = 50 * time.Millisecond
+	DefaultRetryMax        = 2 * time.Second
+	DefaultRetryJitter     = 0.5
+	DefaultTimeout         = 10 * time.Second
+	DefaultBreakerOpensAt  = 5
+	DefaultBreakerCooldown = 30 * time.Second
+)
+
+// Retry re-invokes a failing service with exponential backoff and jitter
+// until it succeeds or the attempt budget is spent. Safe because monotone
+// deterministic services make repeated invocation idempotent up to
+// subsumption. Safe for concurrent use.
+type Retry struct {
+	// Service is the wrapped service.
+	Service Service
+	// Attempts is the total attempt budget including the first try;
+	// values below 1 mean DefaultRetryAttempts.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry. 0 means DefaultRetryBase.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means DefaultRetryMax.
+	MaxDelay time.Duration
+	// Jitter randomizes each delay by ±Jitter·delay. 0 means
+	// DefaultRetryJitter; negative disables jitter.
+	Jitter float64
+	// Rng drives the jitter; nil means an unseeded private source. Seed
+	// it for reproducible schedules.
+	Rng *rand.Rand
+	// Sleep replaces time.Sleep, for tests.
+	Sleep func(time.Duration)
+
+	mu        sync.Mutex
+	retries   int
+	recovered int
+}
+
+// ServiceName implements Service.
+func (r *Retry) ServiceName() string { return r.Service.ServiceName() }
+
+// Unwrap implements Wrapper.
+func (r *Retry) Unwrap() Service { return r.Service }
+
+// Retries returns the number of re-attempts performed so far (beyond each
+// invocation's first try).
+func (r *Retry) Retries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// Recovered returns the number of invocations that failed at least once
+// but ultimately succeeded within their attempt budget.
+func (r *Retry) Recovered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovered
+}
+
+// Invoke implements Service with retries.
+func (r *Retry) Invoke(b Binding) (tree.Forest, error) {
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = DefaultRetryAttempts
+	}
+	var lastErr error
+	made := 0
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			r.backoff(i)
+		}
+		forest, err := r.Service.Invoke(b)
+		made = i + 1
+		if err == nil {
+			if i > 0 {
+				r.mu.Lock()
+				r.recovered++
+				r.mu.Unlock()
+			}
+			return forest, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrBreakerOpen) {
+			break // an open breaker downstream will not heal within our budget
+		}
+	}
+	// The service is not named here: the run loop and the transport error
+	// both already carry it.
+	return nil, fmt.Errorf("core: %d attempt(s) failed: %w", made, lastErr)
+}
+
+// backoff sleeps before the i-th retry (i ≥ 1) and counts it.
+func (r *Retry) backoff(i int) {
+	base := r.BaseDelay
+	if base == 0 {
+		base = DefaultRetryBase
+	}
+	max := r.MaxDelay
+	if max == 0 {
+		max = DefaultRetryMax
+	}
+	d := base << (i - 1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	jitter := r.Jitter
+	if jitter == 0 {
+		jitter = DefaultRetryJitter
+	}
+	r.mu.Lock()
+	r.retries++
+	if jitter > 0 {
+		if r.Rng == nil {
+			r.Rng = rand.New(rand.NewSource(rand.Int63()))
+		}
+		// Uniform in [1-jitter, 1+jitter] — de-synchronizes retry storms.
+		d = time.Duration(float64(d) * (1 + jitter*(2*r.Rng.Float64()-1)))
+	}
+	sleep := r.Sleep
+	r.mu.Unlock()
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if d > 0 {
+		sleep(d)
+	}
+}
+
+// ErrTimeout is wrapped by Timeout when an invocation exceeds its limit.
+var ErrTimeout = errors.New("core: service invocation timed out")
+
+// Timeout bounds a single invocation of the wrapped service. On expiry the
+// invocation is abandoned: it keeps running in the background and its
+// eventual result is discarded. Use it around services whose blocking
+// happens after they finish reading their binding (RemoteService marshals
+// the envelope first, then waits on the network), so the abandoned
+// goroutine never races the engine's subsequent tree mutations. Do not
+// place a Timeout between a peer's lock gate and the engine — an abandoned
+// gated invocation would re-acquire the gate and never release it;
+// peer.AttachGates therefore declines to gate a stack containing a
+// Timeout, and gated remote services should bound attempts with their
+// HTTP client's Timeout instead.
+type Timeout struct {
+	// Service is the wrapped service.
+	Service Service
+	// Limit is the per-invocation deadline; 0 means DefaultTimeout.
+	Limit time.Duration
+}
+
+// ServiceName implements Service.
+func (t *Timeout) ServiceName() string { return t.Service.ServiceName() }
+
+// Unwrap implements Wrapper.
+func (t *Timeout) Unwrap() Service { return t.Service }
+
+// Invoke implements Service with a deadline.
+func (t *Timeout) Invoke(b Binding) (tree.Forest, error) {
+	limit := t.Limit
+	if limit == 0 {
+		limit = DefaultTimeout
+	}
+	type outcome struct {
+		forest tree.Forest
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		forest, err := t.Service.Invoke(b)
+		done <- outcome{forest, err}
+	}()
+	timer := time.NewTimer(limit)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.forest, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("core: service %q: %w after %v",
+			t.Service.ServiceName(), ErrTimeout, limit)
+	}
+}
+
+// ErrBreakerOpen is wrapped by Breaker when it short-circuits a call.
+var ErrBreakerOpen = errors.New("core: circuit breaker open")
+
+// Breaker is a circuit breaker: after OpensAt consecutive failures it
+// opens and fails calls immediately (sparing a struggling endpoint), then
+// after Cooldown it half-opens, letting exactly one probe through — a
+// probe success closes the circuit, a probe failure re-opens it for
+// another cooldown. Safe for concurrent use.
+type Breaker struct {
+	// Service is the wrapped service.
+	Service Service
+	// OpensAt is the consecutive-failure count that opens the circuit;
+	// values below 1 mean DefaultBreakerOpensAt.
+	OpensAt int
+	// Cooldown is how long the circuit stays open before half-opening;
+	// 0 means DefaultBreakerCooldown.
+	Cooldown time.Duration
+	// Now replaces time.Now, for tests.
+	Now func() time.Time
+
+	mu            sync.Mutex
+	open          bool
+	probing       bool
+	consecutive   int
+	openedAt      time.Time
+	opens         int
+	shortCircuits int
+}
+
+// ServiceName implements Service.
+func (br *Breaker) ServiceName() string { return br.Service.ServiceName() }
+
+// Unwrap implements Wrapper.
+func (br *Breaker) Unwrap() Service { return br.Service }
+
+// State reports "closed", "open" or "half-open".
+func (br *Breaker) State() string {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch {
+	case !br.open:
+		return "closed"
+	case br.now().Sub(br.openedAt) >= br.cooldown():
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Opens returns how many times the circuit has opened (including re-opens
+// after a failed probe).
+func (br *Breaker) Opens() int {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.opens
+}
+
+// ShortCircuits returns how many calls were rejected without reaching the
+// wrapped service.
+func (br *Breaker) ShortCircuits() int {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.shortCircuits
+}
+
+func (br *Breaker) now() time.Time {
+	if br.Now != nil {
+		return br.Now()
+	}
+	return time.Now()
+}
+
+func (br *Breaker) cooldown() time.Duration {
+	if br.Cooldown == 0 {
+		return DefaultBreakerCooldown
+	}
+	return br.Cooldown
+}
+
+// Invoke implements Service with circuit breaking.
+func (br *Breaker) Invoke(b Binding) (tree.Forest, error) {
+	br.mu.Lock()
+	if br.open {
+		if br.probing || br.now().Sub(br.openedAt) < br.cooldown() {
+			br.shortCircuits++
+			br.mu.Unlock()
+			return nil, ErrBreakerOpen
+		}
+		br.probing = true // half-open: admit this call as the single probe
+	}
+	br.mu.Unlock()
+
+	forest, err := br.Service.Invoke(b)
+
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if err != nil {
+		br.consecutive++
+		opensAt := br.OpensAt
+		if opensAt < 1 {
+			opensAt = DefaultBreakerOpensAt
+		}
+		if br.probing || (!br.open && br.consecutive >= opensAt) {
+			br.open = true
+			br.probing = false
+			br.openedAt = br.now()
+			br.opens++
+		}
+		return nil, err
+	}
+	br.open = false
+	br.probing = false
+	br.consecutive = 0
+	return forest, nil
+}
+
+// HardenOptions configures Harden. Zero-valued fields disable the
+// corresponding layer (except delays/thresholds inside an enabled layer,
+// which fall back to the Default* constants).
+type HardenOptions struct {
+	// Attempts enables Retry when > 1 (total attempts per invocation).
+	Attempts int
+	// BaseDelay, MaxDelay and Jitter configure the enabled Retry.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	Jitter    float64
+	// Rng seeds the retry jitter (nil means unseeded).
+	Rng *rand.Rand
+	// Timeout enables a per-attempt deadline when > 0.
+	Timeout time.Duration
+	// BreakerOpensAt enables a circuit breaker when > 0 (consecutive
+	// failures to open).
+	BreakerOpensAt int
+	// BreakerCooldown is the enabled breaker's open period.
+	BreakerCooldown time.Duration
+}
+
+// Harden wraps svc in the conventional fault-tolerance stack
+// Breaker{Retry{Timeout{svc}}}, including only the layers the options
+// enable. With a zero HardenOptions it returns svc unchanged.
+func Harden(svc Service, o HardenOptions) Service {
+	out := svc
+	if o.Timeout > 0 {
+		out = &Timeout{Service: out, Limit: o.Timeout}
+	}
+	if o.Attempts > 1 {
+		out = &Retry{
+			Service:   out,
+			Attempts:  o.Attempts,
+			BaseDelay: o.BaseDelay,
+			MaxDelay:  o.MaxDelay,
+			Jitter:    o.Jitter,
+			Rng:       o.Rng,
+		}
+	}
+	if o.BreakerOpensAt > 0 {
+		out = &Breaker{Service: out, OpensAt: o.BreakerOpensAt, Cooldown: o.BreakerCooldown}
+	}
+	return out
+}

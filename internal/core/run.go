@@ -248,8 +248,29 @@ func (r *Random) Order(calls []Call) {
 	r.Rng.Shuffle(len(calls), func(i, j int) { calls[i], calls[j] = calls[j], calls[i] })
 }
 
+// ErrorPolicy selects how Run reacts to a service invocation error.
+type ErrorPolicy int
+
+const (
+	// FailFast aborts the run on the first service error (the historical
+	// behavior): RunResult.Err carries the error and all other calls of
+	// the sweep are abandoned.
+	FailFast ErrorPolicy = iota
+	// Degrade quarantines a failing call for the remainder of its sweep,
+	// keeps sweeping every other call, and retries the failed call on
+	// later sweeps. Theorem 2.1 (confluence of fair rewritings of
+	// monotone systems) makes this safe: deferring an invocation can
+	// only postpone information, never change the final state. The run
+	// still terminates normally once a sweep is both change-free and
+	// error-free; it gives up (Terminated=false, Err set) after
+	// MaxErrorSweeps consecutive sweeps that made no progress and still
+	// saw errors.
+	Degrade
+)
+
 // RunOptions bounds a rewriting run. The zero value means: round-robin
-// scheduling, at most DefaultMaxSteps rewriting steps and no node bound.
+// scheduling, at most DefaultMaxSteps rewriting steps, no node bound and
+// fail-fast error handling.
 type RunOptions struct {
 	// Scheduler orders call attempts within a sweep; nil means RoundRobin.
 	Scheduler Scheduler
@@ -262,12 +283,22 @@ type RunOptions struct {
 	// MaxSweeps stops after that many completed sweeps; 0 means
 	// unbounded. One sweep attempts every call present at its start.
 	MaxSweeps int
+	// ErrorPolicy selects fail-fast (zero value) or degraded handling of
+	// service errors.
+	ErrorPolicy ErrorPolicy
+	// MaxErrorSweeps bounds, under Degrade, the consecutive sweeps that
+	// make no progress while still seeing errors before the run gives
+	// up; 0 means DefaultMaxErrorSweeps.
+	MaxErrorSweeps int
 	// OnStep, when non-nil, observes every strictly-growing invocation.
 	OnStep func(step int, c Call)
 }
 
 // DefaultMaxSteps bounds runs whose options leave MaxSteps at zero.
 const DefaultMaxSteps = 100000
+
+// DefaultMaxErrorSweeps bounds fruitless all-error sweeps under Degrade.
+const DefaultMaxErrorSweeps = 3
 
 // RunResult reports what a rewriting run did.
 type RunResult struct {
@@ -279,9 +310,19 @@ type RunResult struct {
 	Sweeps int
 	// Terminated is true when the run reached a fixpoint: a full sweep
 	// in which no invocation changed the system (the system "terminates
-	// at" its current state, Definition 2.4).
+	// at" its current state, Definition 2.4). Under Degrade a sweep must
+	// also be error-free to count as the fixpoint confirmation.
 	Terminated bool
-	// Err is the first service error encountered, if any.
+	// Failures counts invocations that returned an error. Under FailFast
+	// it is at most 1; under Degrade failed calls are quarantined for
+	// their sweep and retried later, so a terminated run may still
+	// report the transient failures it rode through.
+	Failures int
+	// Errors counts failures per service name; nil when there were none.
+	Errors map[string]int
+	// Err is the first service error encountered, if any. A run can
+	// terminate at the fixpoint with Err non-nil under Degrade when
+	// every failure was transient.
 	Err error
 }
 
@@ -309,14 +350,21 @@ func (s *System) Run(opts RunOptions) RunResult {
 	// fairness condition (ii) of Definition 2.4 — an invocation would
 	// not modify the system.
 	seen := make(map[*tree.Node]uint64)
+	maxErrorSweeps := opts.MaxErrorSweeps
+	if maxErrorSweeps == 0 {
+		maxErrorSweeps = DefaultMaxErrorSweeps
+	}
+	fruitless := 0 // consecutive no-progress sweeps that saw errors
 	for {
 		res.Sweeps++
 		changedInSweep := false
+		failuresInSweep := 0
 		// Snapshot the calls existing at sweep start: calls created by
 		// answers during this sweep wait for the next one. This is what
 		// makes every execution fair — no branch can starve another by
 		// producing fresh calls faster than the sweep drains them.
 		pending := s.Calls()
+		purgeSeen(seen, pending)
 		sched.Order(pending)
 		for _, c := range pending {
 			// Version gate first (O(1)): a sterile call skips even the
@@ -333,8 +381,24 @@ func (s *System) Run(opts RunOptions) RunResult {
 			res.Attempts++
 			changed, err := s.Invoke(c)
 			if err != nil {
-				res.Err = err
-				return res
+				res.Failures++
+				if res.Errors == nil {
+					res.Errors = make(map[string]int)
+				}
+				res.Errors[c.Node.Name]++
+				if res.Err == nil {
+					res.Err = err
+				}
+				if opts.ErrorPolicy == FailFast {
+					return res
+				}
+				// Degrade: quarantine the call for the rest of this sweep
+				// (each call runs at most once per sweep anyway) and make
+				// it eligible again next sweep despite unchanged versions
+				// — the failure may have been transient.
+				delete(seen, c.Node)
+				failuresInSweep++
+				continue
 			}
 			if changed {
 				res.Steps++
@@ -350,12 +414,42 @@ func (s *System) Run(opts RunOptions) RunResult {
 				}
 			}
 		}
-		if !changedInSweep {
+		if !changedInSweep && failuresInSweep == 0 {
 			res.Terminated = true
 			return res
 		}
+		if !changedInSweep {
+			// Errors but no progress: retry the quarantined calls on
+			// another sweep, but give up after maxErrorSweeps of these —
+			// the failures look permanent.
+			fruitless++
+			if fruitless >= maxErrorSweeps {
+				return res
+			}
+		} else {
+			fruitless = 0
+		}
 		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
 			return res
+		}
+	}
+}
+
+// purgeSeen drops version-gate entries whose nodes are no longer attached
+// to any document: reduction prunes subtrees (and the call nodes inside
+// them) for good, so without this the gate map grows without bound over a
+// long run. Called at sweep boundaries with the fresh call snapshot.
+func purgeSeen(seen map[*tree.Node]uint64, live []Call) {
+	if len(seen) == 0 {
+		return
+	}
+	alive := make(map[*tree.Node]struct{}, len(live))
+	for _, c := range live {
+		alive[c.Node] = struct{}{}
+	}
+	for n := range seen {
+		if _, ok := alive[n]; !ok {
+			delete(seen, n)
 		}
 	}
 }

@@ -149,6 +149,16 @@ func (s *System) Docs() query.Docs {
 	return d
 }
 
+// Touch records an out-of-band mutation of the named document (a replica
+// sync, a pushed forest, a by-hand edit), bumping its version so the
+// sterile-call gate re-examines services that read it. Unknown names are
+// ignored.
+func (s *System) Touch(name string) {
+	if _, ok := s.docs[name]; ok {
+		s.docVersion[name]++
+	}
+}
+
 // Size returns the total number of nodes across all documents.
 func (s *System) Size() int {
 	n := 0

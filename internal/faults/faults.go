@@ -1,0 +1,135 @@
+// Package faults injects deterministic, seedable failures and latency into
+// services and HTTP handlers, so the engine's retry, circuit-breaker and
+// degraded-run paths are testable without real network flakiness. The
+// injection plans are counter-based (error-every-k, fail-first-n, latency
+// spikes) or seeded-probabilistic, so a test or experiment replays the
+// exact same failure schedule every run.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/tree"
+)
+
+// ErrInjected is wrapped by every failure a FaultService injects.
+var ErrInjected = errors.New("faults: injected failure")
+
+// FaultService wraps a core.Service and injects failures and latency
+// according to its plan. Invocations are counted from 1; a given counter
+// value fails if it is within the FailFirst prefix, lands on an ErrorEvery
+// multiple, or is drawn by the seeded Rate coin. Failures are injected
+// before the wrapped service runs (the invocation never happens — like a
+// request that died on the wire). Safe for concurrent use.
+type FaultService struct {
+	// Service is the wrapped service.
+	Service core.Service
+	// FailFirst makes invocations 1..n fail (a cold endpoint that needs
+	// warming up).
+	FailFirst int
+	// ErrorEvery makes every k-th invocation fail (k ≥ 1; 0 disables) —
+	// the classic transient-error pattern.
+	ErrorEvery int
+	// Rate, in (0,1], makes each invocation fail with that probability,
+	// drawn from a source seeded with Seed (deterministic replay).
+	Rate float64
+	// Seed seeds the Rate coin.
+	Seed int64
+	// Latency delays every invocation (success or failure).
+	Latency time.Duration
+	// SpikeEvery adds Spike extra latency to every k-th invocation
+	// (0 disables) — a tail-latency simulator for Timeout testing.
+	SpikeEvery int
+	// Spike is the extra delay of a spiked invocation.
+	Spike time.Duration
+	// Sleep replaces time.Sleep, for tests.
+	Sleep func(time.Duration)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	calls    int
+	injected int
+}
+
+// ServiceName implements core.Service.
+func (f *FaultService) ServiceName() string { return f.Service.ServiceName() }
+
+// Unwrap implements core.Wrapper.
+func (f *FaultService) Unwrap() core.Service { return f.Service }
+
+// Calls returns the number of invocations seen so far.
+func (f *FaultService) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Injected returns the number of failures injected so far.
+func (f *FaultService) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Invoke implements core.Service with fault injection.
+func (f *FaultService) Invoke(b core.Binding) (tree.Forest, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	fail := n <= f.FailFirst
+	if !fail && f.ErrorEvery > 0 && n%f.ErrorEvery == 0 {
+		fail = true
+	}
+	if !fail && f.Rate > 0 {
+		if f.rng == nil {
+			f.rng = rand.New(rand.NewSource(f.Seed))
+		}
+		fail = f.rng.Float64() < f.Rate
+	}
+	if fail {
+		f.injected++
+	}
+	delay := f.Latency
+	if f.SpikeEvery > 0 && n%f.SpikeEvery == 0 {
+		delay += f.Spike
+	}
+	sleep := f.Sleep
+	f.mu.Unlock()
+	if delay > 0 {
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(delay)
+	}
+	if fail {
+		return nil, fmt.Errorf("faults: service %q invocation %d: %w",
+			f.Service.ServiceName(), n, ErrInjected)
+	}
+	return f.Service.Invoke(b)
+}
+
+// FlakyHandler wraps an HTTP handler so that every k-th request fails with
+// 502 Bad Gateway before reaching the handler (k ≥ 1; k ≤ 0 passes
+// everything through) — server-side transient faults for peer fleets.
+func FlakyHandler(h http.Handler, every int) http.Handler {
+	var mu sync.Mutex
+	n := 0
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n++
+		k := n
+		mu.Unlock()
+		if every > 0 && k%every == 0 {
+			http.Error(w, fmt.Sprintf("faults: injected 502 on request %d", k),
+				http.StatusBadGateway)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -3,7 +3,6 @@ package peer
 import (
 	"fmt"
 	"net/http"
-	"time"
 
 	"axml/internal/core"
 	"axml/internal/subsume"
@@ -36,11 +35,7 @@ type Mirror struct {
 // Sync pulls the remote document once and merges it into the local
 // system, reporting whether the replica grew.
 func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
-	client := m.Client
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
-	}
-	remote, err := FetchDoc(client, m.Remote, m.RemoteDoc)
+	remote, err := FetchDoc(m.Client, m.Remote, m.RemoteDoc)
 	if err != nil {
 		return false, err
 	}
@@ -63,6 +58,11 @@ func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
 		}
 		local.Root.Children = merged.Children
 		changed = local.Root.CanonicalHash() != before
+		if changed {
+			// Out-of-band growth: bump the version so the sterile-call
+			// gate re-examines services reading the replica.
+			s.Touch(m.LocalDoc)
+		}
 	})
 	if err != nil {
 		return false, err

@@ -20,13 +20,29 @@ const (
 	PathHash   = "/axml/hash"
 )
 
+// DefaultClient is the HTTP client used whenever a Client field is nil.
+// It is shared package-wide so repeated calls to the same peer reuse
+// pooled keep-alive TCP connections instead of re-dialing per invocation.
+var DefaultClient = &http.Client{Timeout: 10 * time.Second}
+
 // Peer hosts an AXML system and serves its services over HTTP. All
 // exported methods are safe for concurrent use; the system is guarded by
 // one mutex (requests serialize, which matches the formal model's
-// one-invocation-at-a-time rewriting).
+// one-invocation-at-a-time rewriting). During a sweep the mutex is
+// released while a RemoteService waits on the network (see AttachGates),
+// so a document that — directly or through a cycle of peers — calls one
+// of this peer's own services makes progress instead of deadlocking.
 type Peer struct {
 	// Name identifies the peer in logs and stats.
 	Name string
+
+	// ErrorPolicy selects how Sweep reacts to service errors; the zero
+	// value is core.FailFast (abort the sweep on the first error).
+	ErrorPolicy core.ErrorPolicy
+
+	// sweepMu serializes sweeps: mu alone cannot, because sweeps release
+	// it around remote invocations.
+	sweepMu sync.Mutex
 
 	mu     sync.Mutex
 	system *core.System
@@ -41,11 +57,54 @@ type Stats struct {
 	Sweeps int
 	// Steps counts strictly-growing local invocations.
 	Steps int
+	// Failures counts failed invocations observed by local sweeps.
+	Failures int
 }
 
-// New wraps a system as a peer.
+// New wraps a system as a peer and gates its remote services on the
+// peer's lock (see AttachGates). After New, access the system only
+// through the peer's methods.
 func New(name string, s *core.System) *Peer {
-	return &Peer{Name: name, system: s}
+	p := &Peer{Name: name, system: s}
+	p.AttachGates()
+	return p
+}
+
+// AttachGates installs the peer's state lock as the network gate of every
+// RemoteService registered in the system (reaching through middleware
+// stacks via core.Wrapper), so sweeps release the peer while waiting on
+// remote answers — required for self-calls and peer cycles to make
+// progress. New calls it; call it again after registering more remote
+// services post-construction.
+//
+// A stack containing a core.Timeout is left ungated: Timeout abandons an
+// expired invocation, whose deferred gate re-acquisition would then hold
+// the peer lock forever. Bound a gated remote service's attempts with the
+// HTTP client's Timeout instead (all clients share the default transport,
+// so connection pooling is unaffected).
+func (p *Peer) AttachGates() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, name := range p.system.FuncNames() {
+		svc := p.system.Service(name)
+		gateable := true
+		for svc != nil {
+			if _, ok := svc.(*core.Timeout); ok {
+				gateable = false
+			}
+			if rs, ok := svc.(*RemoteService); ok {
+				if gateable && rs.Gate == nil {
+					rs.Gate = &p.mu
+				}
+				break
+			}
+			w, ok := svc.(core.Wrapper)
+			if !ok {
+				break
+			}
+			svc = w.Unwrap()
+		}
+	}
 }
 
 // System gives locked access to the underlying system.
@@ -125,6 +184,10 @@ func (p *Peer) Serve(env Envelope) (tree.Forest, error) {
 }
 
 func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	name := r.URL.Path[len(PathDoc):]
 	p.mu.Lock()
 	doc := p.system.Document(name)
@@ -148,15 +211,23 @@ func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 
 // Sweep performs one fair local sweep (each current call attempted once)
 // and reports whether anything changed. Remote calls embedded in local
-// documents go over HTTP during the sweep.
+// documents go over HTTP during the sweep; while one is in flight the
+// peer's lock is released (via the gates AttachGates installed), so
+// incoming invocations — including the peer's own services called back
+// through the wire — are served instead of deadlocking. Sweeps themselves
+// stay serialized. Under core.Degrade a failing call is quarantined and
+// the sweep continues; the error is still reported.
 func (p *Peer) Sweep() (bool, error) {
+	p.sweepMu.Lock()
+	defer p.sweepMu.Unlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Sweeps++
-	res := p.system.Run(core.RunOptions{MaxSweeps: 1})
+	res := p.system.Run(core.RunOptions{MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy})
 	p.stats.Steps += res.Steps
-	if res.Err != nil {
-		return false, res.Err
+	p.stats.Failures += res.Failures
+	if res.Err != nil && (p.ErrorPolicy == core.FailFast || res.Steps == 0) {
+		return res.Steps > 0, res.Err
 	}
 	return res.Steps > 0, nil
 }
@@ -192,6 +263,10 @@ func (p *Peer) Hash() string {
 }
 
 func (p *Peer) handleHash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	io.WriteString(w, p.Hash())
 }
 
@@ -207,8 +282,17 @@ type RemoteService struct {
 	Service string
 	// URL is the remote peer's base URL.
 	URL string
-	// Client is the HTTP client; nil means a 10s-timeout default.
+	// Client is the HTTP client; nil means the shared DefaultClient
+	// (10s timeout, pooled keep-alive connections).
 	Client *http.Client
+	// Gate, when set, is released for the duration of the network round
+	// trip and re-acquired before returning. The envelope is marshaled
+	// from the live trees before release and the attach-and-reduce in
+	// the engine happens after re-acquisition, so the system is never
+	// read or mutated while unlocked. Peers install their state lock
+	// here (AttachGates); leave nil when invocations don't run under a
+	// lock that incoming requests also need.
+	Gate sync.Locker
 }
 
 // ServiceName implements core.Service.
@@ -218,15 +302,20 @@ func (r *RemoteService) ServiceName() string { return r.Name }
 func (r *RemoteService) Invoke(b core.Binding) (tree.Forest, error) {
 	client := r.Client
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = DefaultClient
 	}
 	svc := r.Service
 	if svc == "" {
 		svc = r.Name
 	}
+	// Marshal while still holding any gate: the binding aliases live trees.
 	data, err := MarshalEnvelope(Envelope{Service: svc, Input: b.Input, Context: b.Context})
 	if err != nil {
 		return nil, err
+	}
+	if r.Gate != nil {
+		r.Gate.Unlock()
+		defer r.Gate.Lock() // re-acquire before the engine resumes
 	}
 	resp, err := client.Post(r.URL+PathInvoke, "application/xml", bytes.NewReader(data))
 	if err != nil {
@@ -243,10 +332,11 @@ func (r *RemoteService) Invoke(b core.Binding) (tree.Forest, error) {
 	return UnmarshalForest(body)
 }
 
-// FetchDoc pulls a document from a peer.
+// FetchDoc pulls a document from a peer. A nil client means the shared
+// DefaultClient.
 func FetchDoc(client *http.Client, baseURL, name string) (*tree.Node, error) {
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = DefaultClient
 	}
 	resp, err := client.Get(baseURL + PathDoc + name)
 	if err != nil {

@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"sync"
-	"time"
 
 	"axml/internal/core"
 	"axml/internal/subsume"
@@ -56,7 +55,7 @@ func (pb *Publisher) Subscribe(id string, env Envelope, callbackURL string) {
 // sent. It returns the number of trees pushed.
 func (pb *Publisher) Flush(client *http.Client) (int, error) {
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = DefaultClient
 	}
 	pb.mu.Lock()
 	subs := append([]*subscription(nil), pb.subs...)
@@ -169,6 +168,8 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 		}
 		target.node.Children = append(target.node.Children, forest...)
 		subsume.ReduceInPlace(doc.Root)
+		// Out-of-band growth: make the version gate see the pushed data.
+		s.Touch(target.doc)
 	})
 	io.WriteString(w, "ok")
 }
