@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race fmt fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,25 @@ test:
 vet:
 	$(GO) vet ./...
 
+# gofmt cleanliness: fail listing the files that need formatting.
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
 # The concurrency-sensitive peer tests (lock gates released mid-sweep,
-# self-call and peer-cycle regressions) must stay clean under the race
-# detector.
+# self-call and peer-cycle regressions, journal flushes under the peer
+# lock) must stay clean under the race detector.
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verify: build + tests, extended with go vet and the race detector.
-verify: build vet test race
+# Short-budget coverage-guided fuzzing of the wire parsers journal replay
+# depends on (go test -fuzz takes one target per run).
+fuzz-smoke:
+	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalTree$$' -fuzztime=5s
+	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=5s
+
+# Tier-1 verify: build + tests, extended with gofmt, go vet, the race
+# detector and the fuzz smoke run.
+verify: build fmt vet test race fuzz-smoke

@@ -12,6 +12,13 @@
 // Breaker{Retry{Timeout{...}}} configured by -retries, -retry-base,
 // -timeout, -breaker-failures and -breaker-cooldown; -degrade makes local
 // sweeps quarantine failing calls and keep going instead of aborting.
+//
+// With -data-dir the peer is durable: every document mutation is appended
+// to a CRC-framed write-ahead journal in that directory (fsync batching
+// via -fsync, snapshot compaction via -snapshot-every), and on startup
+// any state a previous incarnation persisted there is recovered — so the
+// process survives kill -9 and rejoins its fleet at the point it died,
+// re-deriving anything lost in the torn tail by re-sweeping.
 package main
 
 import (
@@ -38,6 +45,9 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures opening the circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "open period before the breaker half-opens")
 	degrade := flag.Bool("degrade", false, "quarantine failing calls during sweeps instead of aborting")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead journal and snapshots (empty = in-memory peer)")
+	snapshotEvery := flag.Int("snapshot-every", peer.DefaultSnapshotEvery, "journal records between snapshot compactions (negative disables)")
+	fsync := flag.Int("fsync", 1, "fsync the journal every n appended records (1 = every record; larger n batches, risking at most n-1 records that a re-sweep re-derives)")
 	var remotes remoteFlags
 	flag.Var(&remotes, "remote", "remote service binding NAME=URL (repeatable)")
 	flag.Parse()
@@ -91,9 +101,20 @@ func main() {
 	if err := sys.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	p := peer.New(*name, sys)
+	p, rec, err := peer.NewDurable(*name, sys, peer.Durability{
+		Dir:           *dataDir,
+		SnapshotEvery: *snapshotEvery,
+		SyncEvery:     *fsync,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *degrade {
 		p.ErrorPolicy = core.Degrade
+	}
+	if *dataDir != "" {
+		log.Printf("axml-peer %s durable in %s (snapshot seq %d, %d journal records replayed, torn tail: %v)",
+			*name, *dataDir, rec.SnapshotSeq, rec.Replayed, rec.Torn)
 	}
 	log.Printf("axml-peer %s serving %s on %s (docs: %v, services: %v)",
 		*name, *systemFile, *listen, sys.DocNames(), sys.FuncNames())

@@ -154,7 +154,7 @@ func (s *System) Invoke(c Call) (changed bool, err error) {
 		}
 		ancestor.Children = pruned
 	}
-	s.docVersion[c.Doc]++
+	s.bumpVersion(c.Doc)
 	return true, nil
 }
 

@@ -27,6 +27,10 @@ type System struct {
 	// unchanged since its last attempt cannot bring anything new — the
 	// engine uses this to skip provably-sterile attempts.
 	docVersion map[string]uint64
+	// onMutate observes every version bump (sweep appends, Touch-reported
+	// out-of-band growth, Restore merges). Durability layers register here
+	// to learn which documents changed without reaching into the engine.
+	onMutate func(docName string)
 }
 
 // NewSystem returns an empty system.
@@ -155,8 +159,67 @@ func (s *System) Docs() query.Docs {
 // ignored.
 func (s *System) Touch(name string) {
 	if _, ok := s.docs[name]; ok {
-		s.docVersion[name]++
+		s.bumpVersion(name)
 	}
+}
+
+// SetMutationHook registers fn to be called with the document name on
+// every mutation that bumps a document version. One hook at a time; nil
+// unregisters. The hook runs synchronously inside the mutating operation,
+// so it must be cheap and must not re-enter the system.
+func (s *System) SetMutationHook(fn func(docName string)) { s.onMutate = fn }
+
+// bumpVersion advances a document's version and notifies the mutation
+// hook. Every mutating path funnels through here.
+func (s *System) bumpVersion(name string) {
+	s.docVersion[name]++
+	if s.onMutate != nil {
+		s.onMutate(name)
+	}
+}
+
+// Snapshot returns a deep copy of every document in insertion order — the
+// state a durability layer persists. Services are not part of a snapshot:
+// they are code, reconstructed from the system definition on restart.
+func (s *System) Snapshot() []*tree.Document {
+	out := make([]*tree.Document, 0, len(s.docNames))
+	for _, name := range s.docNames {
+		out = append(out, s.docs[name].Copy())
+	}
+	return out
+}
+
+// Restore merges a recovered tree into the named document as the least
+// upper bound of the two (Section 2.1), reporting whether the document
+// grew. Monotonicity makes this the universally safe recovery primitive:
+// replaying a journal record twice, applying records out of order, or
+// restoring over a document that already advanced past the record can
+// only re-add information, never lose or corrupt it (Theorem 2.1). A
+// changed document has its version bumped so the sterile-call gate
+// re-examines services that read it.
+func (s *System) Restore(name string, root *tree.Node) (changed bool, err error) {
+	doc, ok := s.docs[name]
+	if !ok {
+		return false, fmt.Errorf("core: restore of unknown document %q", name)
+	}
+	if root == nil {
+		return false, fmt.Errorf("core: restore of %q with nil tree", name)
+	}
+	if doc.Root.Kind != root.Kind || doc.Root.Name != root.Name {
+		return false, fmt.Errorf("core: restore of %q: incomparable roots %q vs %q",
+			name, doc.Root.Name, root.Name)
+	}
+	before := doc.Root.CanonicalHash()
+	merged := subsume.Union(doc.Root, root)
+	if merged == nil {
+		return false, fmt.Errorf("core: restore of %q: union failed", name)
+	}
+	doc.Root.Children = merged.Children
+	if doc.Root.CanonicalHash() == before {
+		return false, nil
+	}
+	s.bumpVersion(name)
+	return true, nil
 }
 
 // Size returns the total number of nodes across all documents.
@@ -178,7 +241,8 @@ func (s *System) CountCalls() int {
 }
 
 // Copy deep-copies the documents; services are shared (they are stateless
-// by contract).
+// by contract). The mutation hook does not carry over — it observes one
+// concrete system, not its forks.
 func (s *System) Copy() *System {
 	c := NewSystem()
 	for _, name := range s.docNames {

@@ -79,10 +79,10 @@ func TestInequalities(t *testing.T) {
 
 func TestValidateErrors(t *testing.T) {
 	bad := []*Program{
-		{Facts: []Atom{A("e", V("X"))}},                                                  // non-ground fact
-		{Rules: []Rule{{Head: A("p", V("X"))}}},                                          // unsafe head
-		{Facts: []Atom{A("e", C("1"))}, Rules: []Rule{{Head: A("e", C("1"), C("2"))}}},   // arity clash
-		{Rules: []Rule{{Head: A("p", C("1")), Neq: [][2]Term{{V("Z"), C("1")}}}}},        // unbound ineq var
+		{Facts: []Atom{A("e", V("X"))}},                                                // non-ground fact
+		{Rules: []Rule{{Head: A("p", V("X"))}}},                                        // unsafe head
+		{Facts: []Atom{A("e", C("1"))}, Rules: []Rule{{Head: A("e", C("1"), C("2"))}}}, // arity clash
+		{Rules: []Rule{{Head: A("p", C("1")), Neq: [][2]Term{{V("Z"), C("1")}}}}},      // unbound ineq var
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {

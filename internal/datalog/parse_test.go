@@ -66,13 +66,13 @@ wet :- raining.
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		`edge(X, b).`,              // non-ground fact
-		`Tc(x, y).`,                // uppercase predicate
-		`tc(X) :- edge(X, Y)`,      // missing final dot
-		`tc(X) :- .`,               // empty body item
-		`edge(a, .`,                // malformed args
-		`p('unterminated).`,        // bad quote
-		`p(X) :- q(X), X != .`,     // bad inequality
+		`edge(X, b).`,          // non-ground fact
+		`Tc(x, y).`,            // uppercase predicate
+		`tc(X) :- edge(X, Y)`,  // missing final dot
+		`tc(X) :- .`,           // empty body item
+		`edge(a, .`,            // malformed args
+		`p('unterminated).`,    // bad quote
+		`p(X) :- q(X), X != .`, // bad inequality
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

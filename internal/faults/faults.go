@@ -9,6 +9,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -112,6 +113,69 @@ func (f *FaultService) Invoke(b core.Binding) (tree.Forest, error) {
 			f.Service.ServiceName(), n, ErrInjected)
 	}
 	return f.Service.Invoke(b)
+}
+
+// ErrCrash is returned by a CrashWriter for its crash write and every
+// write after it — the moment the simulated process died.
+var ErrCrash = errors.New("faults: injected crash")
+
+// CrashWriter simulates a process killed mid-write: writes 1..CrashAt-1
+// pass through untouched; write number CrashAt delivers only Partial of
+// its bytes to the underlying writer and fails with ErrCrash; every later
+// write fails without touching the writer at all. Wrapped around a
+// journal's log file (journal.Options.WrapWriter) — where each record is
+// one Write — it crashes the journal at exactly record CrashAt, leaving a
+// torn frame on disk for recovery to truncate. Safe for concurrent use.
+type CrashWriter struct {
+	// W is the underlying writer (the real log file).
+	W io.Writer
+	// CrashAt is the 1-based write count at which to crash (0 never
+	// crashes).
+	CrashAt int
+	// Partial is how many bytes of the fatal write still reach W — the
+	// torn prefix a real kill leaves behind.
+	Partial int
+
+	mu      sync.Mutex
+	writes  int
+	crashed bool
+}
+
+// Write implements io.Writer with the crash schedule.
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrash
+	}
+	c.writes++
+	if c.CrashAt <= 0 || c.writes < c.CrashAt {
+		return c.W.Write(p)
+	}
+	c.crashed = true
+	cut := c.Partial
+	if cut > len(p) {
+		cut = len(p)
+	}
+	if cut > 0 {
+		c.W.Write(p[:cut])
+	}
+	return cut, fmt.Errorf("faults: write %d torn after %d bytes: %w", c.writes, cut, ErrCrash)
+}
+
+// Crashed reports whether the crash point has been reached.
+func (c *CrashWriter) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Writes returns the number of Write calls observed (including the fatal
+// one).
+func (c *CrashWriter) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
 }
 
 // FlakyHandler wraps an HTTP handler so that every k-th request fails with

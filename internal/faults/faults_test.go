@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"net/http"
@@ -121,5 +122,62 @@ func TestFlakyHandler(t *testing.T) {
 		if resp.StatusCode != status {
 			t.Fatalf("request %d: status %d, want %d", i+1, resp.StatusCode, status)
 		}
+	}
+}
+
+func TestCrashWriterTearsExactWrite(t *testing.T) {
+	var sink bytes.Buffer
+	c := &CrashWriter{W: &sink, CrashAt: 3, Partial: 2}
+	for i := 0; i < 2; i++ {
+		n, err := c.Write([]byte("abcd"))
+		if n != 4 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v", i+1, n, err)
+		}
+	}
+	if c.Crashed() {
+		t.Fatal("crashed early")
+	}
+	n, err := c.Write([]byte("abcd"))
+	if n != 2 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("crash write: n=%d err=%v", n, err)
+	}
+	if !c.Crashed() {
+		t.Fatal("crash not recorded")
+	}
+	// Dead processes do not write: later writes fail without output.
+	if n, err := c.Write([]byte("zz")); n != 0 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash write: n=%d err=%v", n, err)
+	}
+	if got := sink.String(); got != "abcdabcdab" {
+		t.Fatalf("bytes on disk: %q", got)
+	}
+	// Post-crash attempts are not counted: the process was already dead.
+	if c.Writes() != 3 {
+		t.Fatalf("writes counted: %d", c.Writes())
+	}
+}
+
+func TestCrashWriterPartialClampedToWriteSize(t *testing.T) {
+	var sink bytes.Buffer
+	c := &CrashWriter{W: &sink, CrashAt: 1, Partial: 99}
+	n, err := c.Write([]byte("ab"))
+	if n != 2 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if sink.String() != "ab" {
+		t.Fatalf("bytes: %q", sink.String())
+	}
+}
+
+func TestCrashWriterZeroNeverCrashes(t *testing.T) {
+	var sink bytes.Buffer
+	c := &CrashWriter{W: &sink}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Crashed() {
+		t.Fatal("crashed with CrashAt=0")
 	}
 }

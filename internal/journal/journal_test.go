@@ -1,0 +1,326 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendRecords(t *testing.T, path string, opts Options, payloads ...string) {
+	t.Helper()
+	info, err := Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i, p := range payloads {
+		if _, err := j.Append(byte(i%3), []byte(p)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, path string) ([]Record, Info) {
+	t.Helper()
+	var recs []Record
+	info, err := Replay(path, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	appendRecords(t, path, Options{SyncEvery: 1}, "one", "two", "three")
+
+	recs, info := replayAll(t, path)
+	if len(recs) != 3 || info.LastSeq != 3 || info.Torn {
+		t.Fatalf("replay: %d records, info %+v", len(recs), info)
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if string(recs[i].Payload) != want || recs[i].Seq != uint64(i+1) {
+			t.Fatalf("record %d: %+v", i, recs[i])
+		}
+	}
+
+	// Re-open and keep appending: sequence numbers continue.
+	appendRecords(t, path, Options{}, "four")
+	recs, info = replayAll(t, path)
+	if len(recs) != 4 || recs[3].Seq != 4 || string(recs[3].Payload) != "four" {
+		t.Fatalf("after reopen: %+v info %+v", recs, info)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	info, err := Replay(filepath.Join(t.TempDir(), "absent.wal"), nil)
+	if err != nil || info.LastSeq != 0 || info.Torn || info.Records != 0 {
+		t.Fatalf("missing file: %+v, %v", info, err)
+	}
+}
+
+func TestReplayTornTailIsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	appendRecords(t, path, Options{SyncEvery: 1}, "alpha", "beta")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate mid-way through the second record: only the first survives.
+	for cut := len(whole) - 1; cut > headerSize+5; cut-- {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, info := replayAll(t, path)
+		if len(recs) == 0 || string(recs[0].Payload) != "alpha" {
+			t.Fatalf("cut %d: lost the intact prefix: %+v", cut, recs)
+		}
+		if len(recs) == 1 && !info.Torn {
+			t.Fatalf("cut %d: torn tail not reported: %+v", cut, info)
+		}
+	}
+
+	// Garbage appended after intact records is discarded the same way.
+	if err := os.WriteFile(path, append(append([]byte{}, whole...), "garbage!"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, info := replayAll(t, path)
+	if len(recs) != 2 || !info.Torn {
+		t.Fatalf("garbage tail: %d records, %+v", len(recs), info)
+	}
+
+	// Open truncates the garbage; a fresh append lands cleanly after it.
+	j, err := Open(path, info, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(9, []byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, info = replayAll(t, path)
+	if len(recs) != 3 || info.Torn || string(recs[2].Payload) != "gamma" {
+		t.Fatalf("after truncate+append: %d records %+v", len(recs), info)
+	}
+}
+
+func TestReplayRejectsCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	appendRecords(t, path, Options{SyncEvery: 1}, "alpha", "beta")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the first record: the CRC catches it and
+	// replay keeps nothing (it cannot trust anything at or past the
+	// corruption).
+	data[headerSize] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, info := replayAll(t, path)
+	if len(recs) != 0 || !info.Torn {
+		t.Fatalf("corrupt first record: %d records %+v", len(recs), info)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	appendRecords(t, path, Options{}, "a", "b")
+	boom := errors.New("boom")
+	_, err := Replay(path, func(Record) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want callback error, got %v", err)
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	info, err := Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, info, Options{SyncEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 7; i++ {
+		if _, err := j.Append(0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq = %d", got)
+	}
+}
+
+func TestResetCompactsButKeepsSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	info, err := Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, info, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"a", "b"} {
+		if _, err := j.Append(0, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.Append(0, []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("sequence restarted after reset: %d", seq)
+	}
+	j.Close()
+	recs, info := replayAll(t, path)
+	if len(recs) != 1 || recs[0].Seq != 3 || info.Torn {
+		t.Fatalf("after reset: %+v info %+v", recs, info)
+	}
+}
+
+func TestSnapshotRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := WriteSnapshot(path, 42, []byte("state-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(path, 99, []byte("state-v2")); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, err := ReadSnapshot(path)
+	if err != nil || seq != 99 || string(payload) != "state-v2" {
+		t.Fatalf("read: seq=%d payload=%q err=%v", seq, payload, err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := ReadSnapshot(filepath.Join(dir, "absent")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(bad); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("short file: %v", err)
+	}
+	if err := WriteSnapshot(bad, 7, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(bad)
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(bad); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("bit flip: %v", err)
+	}
+}
+
+func TestClosedJournalRejectsUse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Info{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil { // double close is fine
+		t.Fatal(err)
+	}
+	if _, err := j.Append(0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+// failAfter injects a torn write: write k passes only partial bytes
+// through, then fails; later writes fail outright. A stand-in for
+// faults.CrashWriter without the import (journal must not depend on
+// faults).
+type failAfter struct {
+	w       io.Writer
+	k       int
+	partial int
+	n       int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n < f.k {
+		return f.w.Write(p)
+	}
+	cut := f.partial
+	if cut > len(p) {
+		cut = len(p)
+	}
+	if cut > 0 {
+		f.w.Write(p[:cut])
+	}
+	return cut, fmt.Errorf("torn write at %d", f.n)
+}
+
+func TestTornAppendRecoversToIntactPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, Info{}, Options{
+		SyncEvery:  1,
+		WrapWriter: func(w io.Writer) io.Writer { return &failAfter{w: w, k: 3, partial: 7} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []string{"aa", "bb"} {
+		if _, err := j.Append(0, []byte(p)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := j.Append(0, []byte("cc")); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	j.Close()
+
+	recs, info := replayAll(t, path)
+	if len(recs) != 2 || !info.Torn {
+		t.Fatalf("recovered %d records, info %+v", len(recs), info)
+	}
+	if !bytes.Equal(recs[0].Payload, []byte("aa")) || !bytes.Equal(recs[1].Payload, []byte("bb")) {
+		t.Fatalf("recovered payloads: %q %q", recs[0].Payload, recs[1].Payload)
+	}
+}

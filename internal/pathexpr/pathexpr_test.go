@@ -55,9 +55,9 @@ func accepts(n *NFA, word ...string) bool {
 
 func TestNFASemantics(t *testing.T) {
 	cases := []struct {
-		re    string
-		yes   [][]string
-		no    [][]string
+		re  string
+		yes [][]string
+		no  [][]string
 	}{
 		{`a`, [][]string{{"a"}}, [][]string{{}, {"b"}, {"a", "a"}}},
 		{`a.b`, [][]string{{"a", "b"}}, [][]string{{"a"}, {"b", "a"}}},

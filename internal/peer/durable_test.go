@@ -1,0 +1,427 @@
+package peer
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/faults"
+	"axml/internal/journal"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// durableSeed is the system definition a durable peer restarts from: the
+// seed is rebuilt from source on every start, recovery merges persisted
+// state over it.
+const durableSeed = `
+doc notes = log{entry{"boot"}}
+func Annotate = mark{$x} :- input/input{$x}
+`
+
+func newDurablePeer(t *testing.T, dir string, d Durability) (*Peer, RecoveryInfo) {
+	t.Helper()
+	d.Dir = dir
+	p, info, err := NewDurable("durable", core.MustParseSystem(durableSeed), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, info
+}
+
+// growNotes appends a fresh entry to the notes document through the
+// peer's locked access, the way mirror syncs and push deliveries mutate.
+func growNotes(t *testing.T, p *Peer, text string) {
+	t.Helper()
+	p.System(func(s *core.System) {
+		doc := s.Document("notes")
+		doc.Root.Children = append(doc.Root.Children,
+			&tree.Node{Kind: tree.Label, Name: "entry", Children: []*tree.Node{tree.NewValue(text)}})
+		s.Touch("notes")
+	})
+}
+
+func peerCanonical(p *Peer) string {
+	var out string
+	p.System(func(s *core.System) { out = s.CanonicalString() })
+	return out
+}
+
+func TestDurableEmptyDataDir(t *testing.T) {
+	dir := t.TempDir()
+	p, info := newDurablePeer(t, dir, Durability{})
+	if info.Recovered || info.Torn || info.Replayed != 0 || info.SnapshotSeq != 0 {
+		t.Fatalf("cold start reported recovery: %+v", info)
+	}
+	if !p.Durable() {
+		t.Fatal("peer not durable")
+	}
+	growNotes(t, p, "first")
+	if err := p.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, JournalFile)); err != nil {
+		t.Fatalf("journal not created: %v", err)
+	}
+}
+
+func TestDurableRestartRecoversJournal(t *testing.T) {
+	dir := t.TempDir()
+	p1, _ := newDurablePeer(t, dir, Durability{})
+	growNotes(t, p1, "alpha")
+	growNotes(t, p1, "beta")
+	want := peerCanonical(p1)
+	p1.Close()
+
+	p2, info := newDurablePeer(t, dir, Durability{})
+	if !info.Recovered || info.Replayed != 2 || info.Torn {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	if got := peerCanonical(p2); got != want {
+		t.Fatalf("recovered state:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDurableSnapshotOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotEvery=1: every flush compacts, leaving an empty journal.
+	p1, _ := newDurablePeer(t, dir, Durability{SnapshotEvery: 1})
+	growNotes(t, p1, "alpha")
+	want := peerCanonical(p1)
+	p1.Close()
+
+	if fi, err := os.Stat(filepath.Join(dir, JournalFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal not compacted: %v, size %d", err, fi.Size())
+	}
+	p2, info := newDurablePeer(t, dir, Durability{SnapshotEvery: 1})
+	if !info.Recovered || info.SnapshotSeq == 0 || info.Replayed != 0 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	if got := peerCanonical(p2); got != want {
+		t.Fatalf("recovered state:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDurableTornFinalRecordRecovery(t *testing.T) {
+	dir := t.TempDir()
+	p1, _ := newDurablePeer(t, dir, Durability{})
+	growNotes(t, p1, "alpha")
+	wantPrefix := peerCanonical(p1) // state covered by intact records
+	growNotes(t, p1, "beta")
+	p1.Close()
+
+	// Tear the final record: chop bytes off the journal tail.
+	logPath := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, info := newDurablePeer(t, dir, Durability{})
+	if !info.Torn || info.Replayed != 1 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	if got := peerCanonical(p2); got != wantPrefix {
+		t.Fatalf("recovered state:\n%s\nwant intact prefix:\n%s", got, wantPrefix)
+	}
+	// The truncated journal accepts new appends cleanly.
+	growNotes(t, p2, "gamma")
+	if err := p2.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableSnapshotNewerThanLogTail(t *testing.T) {
+	dir := t.TempDir()
+	p1, _ := newDurablePeer(t, dir, Durability{})
+	growNotes(t, p1, "alpha")
+	growNotes(t, p1, "beta")
+	want := peerCanonical(p1)
+	// Force a snapshot covering every record, then undo the compaction by
+	// restoring the old journal bytes: the snapshot (seq 2) is now newer
+	// than the whole log tail, the state after a crash between
+	// WriteSnapshot and Reset.
+	logPath := filepath.Join(dir, JournalFile)
+	oldLog, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+	if err := os.WriteFile(logPath, oldLog, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, info := newDurablePeer(t, dir, Durability{})
+	if !info.Recovered || info.SnapshotSeq != 2 || info.Replayed != 0 {
+		t.Fatalf("recovery info: %+v (stale log records must be skipped)", info)
+	}
+	if got := peerCanonical(p2); got != want {
+		t.Fatalf("recovered state:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Double replay: merging the same journal into an already-recovered
+// system a second time changes nothing — record merges are least upper
+// bounds, so replay is idempotent (the subsumption argument from the
+// paper's Section 2.1).
+func TestDurableDoubleReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	p1, _ := newDurablePeer(t, dir, Durability{})
+	growNotes(t, p1, "alpha")
+	growNotes(t, p1, "beta")
+	p1.Close()
+
+	sys := core.MustParseSystem(durableSeed)
+	logPath := filepath.Join(dir, JournalFile)
+	replayOnce := func() {
+		_, err := journal.Replay(logPath, func(rec journal.Record) error {
+			name, root, err := UnmarshalDocRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			_, err = sys.Restore(name, root)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayOnce()
+	once := sys.CanonicalString()
+	replayOnce()
+	if twice := sys.CanonicalString(); twice != once {
+		t.Fatalf("double replay diverged:\n%s\nvs\n%s", twice, once)
+	}
+}
+
+func TestDurableCorruptSnapshotRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	p1, _ := newDurablePeer(t, dir, Durability{SnapshotEvery: 1})
+	growNotes(t, p1, "alpha")
+	p1.Close()
+	snapPath := filepath.Join(dir, SnapshotFile)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = NewDurable("durable", core.MustParseSystem(durableSeed), Durability{Dir: dir})
+	if !errors.Is(err, journal.ErrCorruptSnapshot) {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+}
+
+// Acceptance (tentpole): a durable peer in a two-peer fleet is killed at
+// an arbitrary journal record mid-run, restarted from its data dir,
+// catches up via anti-entropy, and the fleet converges to exactly the
+// digest of a crash-free run — for every crash point.
+func TestChaosKillRestartConvergesToCleanFixpoint(t *testing.T) {
+	// The remote peer owns a ratings database that grows while the
+	// durable peer is down; extraEntry is that late growth.
+	const remoteSeed = `
+doc ratings = db{entry{title{"Body and Soul"},stars{"4"}},entry{title{"Naima"},stars{"5"}}}
+func GetRating = rating{$s} :- input/input{title{$t}}, ratings/db{entry{title{$t},stars{$s}}}
+`
+	extraEntry := func(p *Peer) {
+		p.System(func(s *core.System) {
+			doc := s.Document("ratings")
+			doc.Root.Children = append(doc.Root.Children,
+				syntax.MustParseDocument(`entry{title{"Giant Steps"},stars{"5"}}`))
+			s.Touch("ratings")
+		})
+	}
+	// The durable peer: a portal whose document calls the remote service,
+	// plus a mirror of the remote ratings database.
+	const portalSeedDocs = `
+doc portal = directory{cd{title{"Body and Soul"},!GetRating{title{"Body and Soul"}}},cd{title{"Naima"},!GetRating{title{"Naima"}}}}
+doc replica = db
+`
+	buildPortal := func(remoteURL string) *core.System {
+		parsed, err := syntax.ParseSystem(portalSeedDocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := core.NewSystem()
+		if err := sys.AddService(&RemoteService{Name: "GetRating", URL: remoteURL}); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range parsed.Docs {
+			if err := sys.AddDocument(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys
+	}
+	runToFixpoint := func(p *Peer, m *Mirror) {
+		for i := 0; i < 50; i++ {
+			synced, err := m.Sync(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swept, err := p.Sweep()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !synced && !swept {
+				return
+			}
+		}
+		t.Fatal("no fixpoint within budget")
+	}
+
+	// Baseline: a never-crashed run against a remote that already has the
+	// extra entry (the final remote state both runs end against).
+	cleanRemote := New("ratings", core.MustParseSystem(remoteSeed))
+	extraEntry(cleanRemote)
+	cleanSrv := httptest.NewServer(cleanRemote.Handler())
+	defer cleanSrv.Close()
+	clean := New("portal", buildPortal(cleanSrv.URL))
+	cleanMirror := &Mirror{Remote: cleanSrv.URL, RemoteDoc: "ratings", LocalDoc: "replica"}
+	runToFixpoint(clean, cleanMirror)
+	wantHash := clean.Hash()
+
+	for crashAt := 1; crashAt <= 4; crashAt++ {
+		// Fleet under test: remote starts without the extra entry.
+		remote := New("ratings", core.MustParseSystem(remoteSeed))
+		srv := httptest.NewServer(remote.Handler())
+
+		dir := t.TempDir()
+		crash := &faults.CrashWriter{CrashAt: crashAt, Partial: 11}
+		p1, _, err := NewDurable("portal", buildPortal(srv.URL), Durability{
+			Dir:        dir,
+			WrapWriter: func(w io.Writer) io.Writer { crash.W = w; return crash },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := &Mirror{Remote: srv.URL, RemoteDoc: "ratings", LocalDoc: "replica"}
+		p1.AddMirror(m1)
+
+		// Drive the fleet until the injected crash point kills the
+		// journal mid-write (or the run finishes first, for large
+		// crashAt — then the restart exercises clean-log recovery).
+		for i := 0; i < 50 && !crash.Crashed(); i++ {
+			if _, err := m1.Sync(p1); err != nil {
+				t.Fatalf("crashAt=%d: %v", crashAt, err)
+			}
+			if crash.Crashed() {
+				break
+			}
+			if _, err := p1.Sweep(); err != nil {
+				t.Fatalf("crashAt=%d: %v", crashAt, err)
+			}
+		}
+		// Kill: the process is gone; only the data dir survives. (Close
+		// is not called — a real kill -9 would not flush anything.)
+		if crash.Crashed() && p1.StoreErr() == nil {
+			t.Fatalf("crashAt=%d: crash not surfaced via StoreErr", crashAt)
+		}
+
+		// While the peer is down the remote database grows.
+		extraEntry(remote)
+
+		// Restart from disk: recover, re-register the mirror, run
+		// anti-entropy to re-pull the moved replica, sweep to fixpoint.
+		p2, info, err := NewDurable("portal", buildPortal(srv.URL), Durability{Dir: dir})
+		if err != nil {
+			t.Fatalf("crashAt=%d: restart: %v", crashAt, err)
+		}
+		if crash.Crashed() && crash.Partial > 0 && !info.Torn {
+			t.Fatalf("crashAt=%d: torn tail not detected: %+v", crashAt, info)
+		}
+		m2 := &Mirror{Remote: srv.URL, RemoteDoc: "ratings", LocalDoc: "replica"}
+		p2.AddMirror(m2)
+		if _, err := p2.AntiEntropy(); err != nil {
+			t.Fatalf("crashAt=%d: anti-entropy: %v", crashAt, err)
+		}
+		runToFixpoint(p2, m2)
+
+		if got := p2.Hash(); got != wantHash {
+			t.Fatalf("crashAt=%d: fleet diverged after crash+restart:\n got %s\nwant %s",
+				crashAt, got, wantHash)
+		}
+		p2.Close()
+		srv.Close()
+	}
+}
+
+// AntiEntropy skips replicas whose remote digest matches the last pull
+// and re-pulls the ones that moved.
+func TestAntiEntropySkipsCurrentReplicas(t *testing.T) {
+	remote := newRatingsPeer(t)
+	srv := httptest.NewServer(remote.Handler())
+	defer srv.Close()
+
+	sys := core.NewSystem()
+	if err := sys.AddDocument(NewReplicaDoc("replica", "db")); err != nil {
+		t.Fatal(err)
+	}
+	p := New("local", sys)
+	m := &Mirror{Remote: srv.URL, RemoteDoc: "ratings", LocalDoc: "replica"}
+	p.AddMirror(m)
+
+	// First pass pulls (no digest on record yet).
+	n, err := p.AntiEntropy()
+	if err != nil || n != 1 {
+		t.Fatalf("first pass: n=%d err=%v", n, err)
+	}
+	// Second pass: nothing moved, nothing pulled.
+	syncsBefore := m.Syncs
+	n, err = p.AntiEntropy()
+	if err != nil || n != 0 || m.Syncs != syncsBefore {
+		t.Fatalf("steady pass: n=%d syncs=%d err=%v", n, m.Syncs, err)
+	}
+	// Remote moves; the pass pulls again.
+	remote.System(func(s *core.System) {
+		doc := s.Document("ratings")
+		doc.Root.Children = append(doc.Root.Children,
+			syntax.MustParseDocument(`entry{title{"Blue in Green"},stars{"5"}}`))
+		s.Touch("ratings")
+	})
+	n, err = p.AntiEntropy()
+	if err != nil || n != 1 {
+		t.Fatalf("after move: n=%d err=%v", n, err)
+	}
+}
+
+// A journaling failure must not take down in-memory serving: the peer
+// degrades to volatile and keeps converging.
+func TestJournalFailureDegradesToVolatile(t *testing.T) {
+	crash := &faults.CrashWriter{CrashAt: 1, Partial: 0}
+	p, _, err := NewDurable("fragile", core.MustParseSystem(durableSeed), Durability{
+		Dir:        t.TempDir(),
+		WrapWriter: func(w io.Writer) io.Writer { crash.W = w; return crash },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	growNotes(t, p, "doomed")
+	if p.StoreErr() == nil {
+		t.Fatal("journal failure not recorded")
+	}
+	if !errors.Is(p.StoreErr(), faults.ErrCrash) {
+		t.Fatalf("unexpected store error: %v", p.StoreErr())
+	}
+	// Serving continues from memory.
+	growNotes(t, p, "still alive")
+	var size int
+	p.System(func(s *core.System) { size = s.Size() })
+	if size == 0 {
+		t.Fatal("in-memory state lost")
+	}
+}

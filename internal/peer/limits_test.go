@@ -1,0 +1,167 @@
+package peer
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// setMaxWireBytes overrides the package cap for one test.
+func setMaxWireBytes(t *testing.T, n int64) {
+	t.Helper()
+	old := MaxWireBytes
+	MaxWireBytes = n
+	t.Cleanup(func() { MaxWireBytes = old })
+}
+
+// hugeBodyServer answers every request with an endless XML-looking body.
+func hugeBodyServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/xml")
+		io.WriteString(w, "<ax:forest><a>")
+		filler := strings.Repeat("<b></b>", 1024)
+		for i := 0; i < 1024; i++ {
+			if _, err := io.WriteString(w, filler); err != nil {
+				return
+			}
+		}
+		io.WriteString(w, "</a></ax:forest>")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRemoteInvokeRejectsOversizedResponse(t *testing.T) {
+	setMaxWireBytes(t, 4096)
+	srv := hugeBodyServer(t)
+	rs := &RemoteService{Name: "f", URL: strings.TrimSuffix(srv.URL+PathInvoke, PathInvoke)}
+	_, err := rs.Invoke(core.Binding{Input: tree.NewLabel(tree.Input)})
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("want ErrResponseTooLarge, got %v", err)
+	}
+
+	// A per-service cap overrides the package default.
+	setMaxWireBytes(t, 1<<30)
+	rs.MaxBytes = 2048
+	_, err = rs.Invoke(core.Binding{Input: tree.NewLabel(tree.Input)})
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("per-service cap: want ErrResponseTooLarge, got %v", err)
+	}
+}
+
+func TestFetchDocRejectsOversizedResponse(t *testing.T) {
+	setMaxWireBytes(t, 4096)
+	srv := hugeBodyServer(t)
+	_, err := FetchDoc(nil, srv.URL, "anything")
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("want ErrResponseTooLarge, got %v", err)
+	}
+}
+
+func TestHandleInvokeStatusCodes(t *testing.T) {
+	srv := httptest.NewServer(newRatingsPeer(t).Handler())
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+PathInvoke, "application/xml", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// A body that fails UnmarshalEnvelope is the caller's bug: 400, with
+	// the parse error echoed so client bugs and journal-replay bugs are
+	// distinguishable from server faults.
+	for _, bad := range []string{
+		"not xml at all",
+		"<ax:envelope></ax:envelope>",
+		"<wrong/>",
+		"",
+	} {
+		resp := post(bad)
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+		if !strings.Contains(string(msg), "bad") {
+			t.Errorf("body %q: parse error not echoed: %q", bad, msg)
+		}
+	}
+
+	// A valid envelope for a service the peer does not have stays a
+	// server-side failure (502), not a client error.
+	env, err := MarshalEnvelope(Envelope{Service: "NoSuchService"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(string(env))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unknown service: status %d, want 502", resp.StatusCode)
+	}
+
+	// An oversized request body is 413, cut off at the cap.
+	setMaxWireBytes(t, 1024)
+	resp = post("<ax:envelope>" + strings.Repeat("<x></x>", 1024))
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d (%q), want 413", resp.StatusCode, msg)
+	}
+}
+
+func TestWireDocRecordAndSnapshotRoundTrip(t *testing.T) {
+	root := syntax.MustParseDocument(`log{entry{"a"},!Annotate{"b"}}`)
+	data, err := MarshalDocRecord("notes", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, back, err := UnmarshalDocRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "notes" || !tree.Isomorphic(root, back) {
+		t.Fatalf("doc record round trip: %q %s", name, back)
+	}
+
+	docs := []*tree.Document{
+		tree.NewDocument("a", syntax.MustParseDocument(`x{y}`)),
+		tree.NewDocument("b", syntax.MustParseDocument(`z{"v"}`)),
+	}
+	snap, err := MarshalSnapshot(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" ||
+		!tree.Isomorphic(got[0].Root, docs[0].Root) || !tree.Isomorphic(got[1].Root, docs[1].Root) {
+		t.Fatalf("snapshot round trip: %v", got)
+	}
+
+	for _, bad := range []string{
+		`<ax:doc><x/></ax:doc>`,        // no name
+		`<ax:doc name="d"></ax:doc>`,   // no tree
+		`<other name="d"><x/></other>`, // wrong element
+	} {
+		if _, _, err := UnmarshalDocRecord([]byte(bad)); err == nil {
+			t.Errorf("accepted bad doc record %q", bad)
+		}
+	}
+	if _, err := UnmarshalSnapshot([]byte(`<wrong/>`)); err == nil {
+		t.Error("accepted bad snapshot")
+	}
+}

@@ -30,6 +30,13 @@ type Mirror struct {
 	Syncs int
 	// LastChanged records whether the last sync brought new data.
 	LastChanged bool
+
+	// lastRemote is the digest of the remote tree as of the last pull —
+	// the anti-entropy pass compares it against the remote's advertised
+	// hash to skip pulls of documents that have not moved. Empty until
+	// the first sync (and after a restart: the field is not persisted, so
+	// a recovered peer's first anti-entropy pass always re-pulls).
+	lastRemote string
 }
 
 // Sync pulls the remote document once and merges it into the local
@@ -69,6 +76,7 @@ func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
 	}
 	m.Syncs++
 	m.LastChanged = changed
+	m.lastRemote = docDigest(remote)
 	return changed, nil
 }
 

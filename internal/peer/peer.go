@@ -2,6 +2,7 @@ package peer
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,6 +26,33 @@ const (
 // pooled keep-alive TCP connections instead of re-dialing per invocation.
 var DefaultClient = &http.Client{Timeout: 10 * time.Second}
 
+// MaxWireBytes caps every wire-format body read — remote invocation
+// responses, fetched documents, and the server side of incoming requests.
+// A peer that answers with more than this is reported as
+// ErrResponseTooLarge instead of being buffered without bound (or
+// silently truncated into a parse error). Adjustable at startup; not
+// synchronized for concurrent modification.
+var MaxWireBytes int64 = 8 << 20
+
+// ErrResponseTooLarge is wrapped by reads that exceed their byte cap.
+var ErrResponseTooLarge = errors.New("peer: response too large")
+
+// readAllLimited reads r to EOF, failing with ErrResponseTooLarge once
+// more than limit bytes appear (limit <= 0 means MaxWireBytes).
+func readAllLimited(r io.Reader, limit int64) ([]byte, error) {
+	if limit <= 0 {
+		limit = MaxWireBytes
+	}
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%w (cap %d bytes)", ErrResponseTooLarge, limit)
+	}
+	return data, nil
+}
+
 // Peer hosts an AXML system and serves its services over HTTP. All
 // exported methods are safe for concurrent use; the system is guarded by
 // one mutex (requests serialize, which matches the formal model's
@@ -47,6 +75,17 @@ type Peer struct {
 	mu     sync.Mutex
 	system *core.System
 	stats  Stats
+
+	// store is the durability layer (nil for an in-memory peer); dirty
+	// accumulates the names of documents mutated since the last journal
+	// flush. Both are guarded by mu: every mutating path holds it, so the
+	// core mutation hook appending to dirty always runs under it.
+	store *store
+	dirty map[string]bool
+
+	// mirrorMu guards mirrors, the replicas registered for anti-entropy.
+	mirrorMu sync.Mutex
+	mirrors  []*Mirror
 }
 
 // Stats counts a peer's activity.
@@ -107,11 +146,14 @@ func (p *Peer) AttachGates() {
 	}
 }
 
-// System gives locked access to the underlying system.
+// System gives locked access to the underlying system. Mutations made
+// inside fn are journaled before the lock is released (when the peer is
+// durable).
 func (p *Peer) System(fn func(s *core.System)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fn(p.system)
+	p.flushJournalLocked()
 }
 
 // Stats returns a snapshot of the counters.
@@ -136,14 +178,23 @@ func (p *Peer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxWireBytes))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body over %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// A body that does not parse as an envelope is the caller's bug (or a
+	// journal-replay bug surfacing as a malformed record) — answer 400
+	// with the parse error so it is distinguishable from server faults.
 	env, err := UnmarshalEnvelope(body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("bad envelope: %v", err), http.StatusBadRequest)
 		return
 	}
 	forest, err := p.Serve(env)
@@ -226,6 +277,7 @@ func (p *Peer) Sweep() (bool, error) {
 	res := p.system.Run(core.RunOptions{MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy})
 	p.stats.Steps += res.Steps
 	p.stats.Failures += res.Failures
+	p.flushJournalLocked()
 	if res.Err != nil && (p.ErrorPolicy == core.FailFast || res.Steps == 0) {
 		return res.Steps > 0, res.Err
 	}
@@ -256,8 +308,7 @@ func (p *Peer) Hash() string {
 	defer p.mu.Unlock()
 	var h string
 	for _, name := range p.system.DocNames() {
-		hh := p.system.Document(name).Root.CanonicalHash()
-		h += fmt.Sprintf("%s=%x;", name, hh[:8])
+		h += name + "=" + docDigest(p.system.Document(name).Root) + ";"
 	}
 	return h
 }
@@ -293,6 +344,9 @@ type RemoteService struct {
 	// here (AttachGates); leave nil when invocations don't run under a
 	// lock that incoming requests also need.
 	Gate sync.Locker
+	// MaxBytes caps the response body; 0 means the package-wide
+	// MaxWireBytes. Responses over the cap fail with ErrResponseTooLarge.
+	MaxBytes int64
 }
 
 // ServiceName implements core.Service.
@@ -322,18 +376,20 @@ func (r *RemoteService) Invoke(b core.Binding) (tree.Forest, error) {
 		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
-	if err != nil {
-		return nil, err
-	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("peer: remote %s: %s: %s", svc, resp.Status, string(body))
+		// Error bodies carry a short message; read a bounded prefix.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, fmt.Errorf("peer: remote %s: %s: %s", svc, resp.Status, string(msg))
+	}
+	body, err := readAllLimited(resp.Body, r.MaxBytes)
+	if err != nil {
+		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
 	}
 	return UnmarshalForest(body)
 }
 
 // FetchDoc pulls a document from a peer. A nil client means the shared
-// DefaultClient.
+// DefaultClient. Bodies over MaxWireBytes fail with ErrResponseTooLarge.
 func FetchDoc(client *http.Client, baseURL, name string) (*tree.Node, error) {
 	if client == nil {
 		client = DefaultClient
@@ -343,12 +399,12 @@ func FetchDoc(client *http.Client, baseURL, name string) (*tree.Node, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
-	if err != nil {
-		return nil, err
-	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("peer: fetch %s: %s", name, resp.Status)
+	}
+	body, err := readAllLimited(resp.Body, 0)
+	if err != nil {
+		return nil, fmt.Errorf("peer: fetch %s: %w", name, err)
 	}
 	return UnmarshalTree(body)
 }

@@ -151,7 +151,7 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown subscription", http.StatusNotFound)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxWireBytes))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -36,9 +36,11 @@ const (
 	elemResponse = "ax:response"
 	elemForest   = "ax:forest"
 	elemFault    = "ax:fault"
+	elemDoc      = "ax:doc"
+	elemSnapshot = "ax:snapshot"
 	attrService  = "service"
+	attrName     = "name"
 )
-
 
 // wireName reconstitutes the prefixed wire name: Go's decoder splits
 // "ax:value" into Space "ax" and Local "value" (the prefix is undeclared,
@@ -234,6 +236,141 @@ func firstStart(dec *xml.Decoder) (xml.StartElement, error) {
 		}
 		if s, ok := tok.(xml.StartElement); ok {
 			return s, nil
+		}
+	}
+}
+
+// MarshalDocRecord renders a named document state as an ax:doc element —
+// the payload of a journal record: the full reduced tree of one document
+// after a mutation (sweep append, mirror sync, push delivery). Full
+// states rather than deltas keep replay trivially idempotent: recovery
+// merges each record into the document by least upper bound, so records
+// may be replayed twice or arrive already subsumed without harm.
+func MarshalDocRecord(name string, root *tree.Node) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	start := xml.StartElement{
+		Name: xml.Name{Local: elemDoc},
+		Attr: []xml.Attr{{Name: xml.Name{Local: attrName}, Value: name}},
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return nil, err
+	}
+	if err := encodeNode(enc, root); err != nil {
+		return nil, err
+	}
+	if err := enc.EncodeToken(start.End()); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalDocRecord parses an ax:doc journal record.
+func UnmarshalDocRecord(data []byte) (name string, root *tree.Node, err error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	start, err := firstStart(dec)
+	if err != nil {
+		return "", nil, fmt.Errorf("peer: bad doc record: %v", err)
+	}
+	return decodeDocElement(dec, start)
+}
+
+func decodeDocElement(dec *xml.Decoder, start xml.StartElement) (string, *tree.Node, error) {
+	if wireName(start.Name) != elemDoc {
+		return "", nil, fmt.Errorf("peer: expected %s, found %s", elemDoc, wireName(start.Name))
+	}
+	name := ""
+	for _, a := range start.Attr {
+		if a.Name.Local == attrName {
+			name = a.Value
+		}
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("peer: %s without %s attribute", elemDoc, attrName)
+	}
+	root, err := decodeNext(dec)
+	if err != nil {
+		return "", nil, err
+	}
+	if root == nil {
+		return "", nil, fmt.Errorf("peer: %s %q without a tree", elemDoc, name)
+	}
+	// Consume the closing tag (decodeNext returns nil on it), so a caller
+	// iterating over sibling ax:doc elements lands on the next one.
+	extra, err := decodeNext(dec)
+	if err != nil {
+		return "", nil, err
+	}
+	if extra != nil {
+		return "", nil, fmt.Errorf("peer: %s %q with more than one tree", elemDoc, name)
+	}
+	return name, root, nil
+}
+
+// MarshalSnapshot renders a document set as an ax:snapshot element of
+// ax:doc entries — the payload of a snapshot file.
+func MarshalSnapshot(docs []*tree.Document) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	snap := xml.StartElement{Name: xml.Name{Local: elemSnapshot}}
+	if err := enc.EncodeToken(snap); err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		start := xml.StartElement{
+			Name: xml.Name{Local: elemDoc},
+			Attr: []xml.Attr{{Name: xml.Name{Local: attrName}, Value: d.Name}},
+		}
+		if err := enc.EncodeToken(start); err != nil {
+			return nil, err
+		}
+		if err := encodeNode(enc, d.Root); err != nil {
+			return nil, err
+		}
+		if err := enc.EncodeToken(start.End()); err != nil {
+			return nil, err
+		}
+	}
+	if err := enc.EncodeToken(snap.End()); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalSnapshot parses an ax:snapshot element back into documents.
+func UnmarshalSnapshot(data []byte) ([]*tree.Document, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	snap, err := firstStart(dec)
+	if err != nil {
+		return nil, fmt.Errorf("peer: bad snapshot: %v", err)
+	}
+	if wireName(snap.Name) != elemSnapshot {
+		return nil, fmt.Errorf("peer: expected %s, found %s", elemSnapshot, wireName(snap.Name))
+	}
+	var docs []*tree.Document
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return docs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			name, root, err := decodeDocElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			docs = append(docs, tree.NewDocument(name, root))
+		case xml.EndElement:
+			return docs, nil
 		}
 	}
 }

@@ -69,9 +69,9 @@ func (e Ineq) String() string { return e.Left.String() + " != " + e.Right.String
 type Query struct {
 	// Name optionally names the query (the function name of the service
 	// it defines, or a label for diagnostics).
-	Name string
-	Head *pattern.Node
-	Body []Atom
+	Name  string
+	Head  *pattern.Node
+	Body  []Atom
 	Ineqs []Ineq
 }
 

@@ -44,14 +44,14 @@ const (
 	tokRBrace
 	tokComma
 	tokSlash
-	tokBang    // '!'
-	tokNeq     // '!='
+	tokBang      // '!'
+	tokNeq       // '!='
 	tokTurnstile // ':-'
-	tokEquals  // '='
-	tokPercent // '%'
-	tokDollar  // '$'
-	tokCaret   // '^'
-	tokHash    // '#'
+	tokEquals    // '='
+	tokPercent   // '%'
+	tokDollar    // '$'
+	tokCaret     // '^'
+	tokHash      // '#'
 )
 
 func (k tokenKind) String() string {

@@ -22,8 +22,8 @@ func newParser(src string) (*parser, error) {
 	return &parser{toks: toks}, nil
 }
 
-func (p *parser) peek() token   { return p.toks[p.i] }
-func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) peek() token         { return p.toks[p.i] }
+func (p *parser) next() token         { t := p.toks[p.i]; p.i++; return t }
 func (p *parser) at(k tokenKind) bool { return p.toks[p.i].kind == k }
 
 func (p *parser) expect(k tokenKind) (token, error) {

@@ -133,12 +133,12 @@ func TestParseQueryInequalitiesAndEmptyBody(t *testing.T) {
 
 func TestParseQueryValidationErrors(t *testing.T) {
 	bad := []string{
-		`a{$x} :- `,                        // unsafe head variable
-		`a :- d/r{#T,x{#T}}`,               // tree variable twice in body
-		`a :- d/r{$x}, #T != $x`,           // tree variable in inequality
-		`a{$x} :- d/r{%x}`,                 // kind conflict head/body
-		`a :- d/r{$x{y}}`,                  // value var with children
-		`a :- d/r, $z != "1"`,              // inequality var unbound
+		`a{$x} :- `,              // unsafe head variable
+		`a :- d/r{#T,x{#T}}`,     // tree variable twice in body
+		`a :- d/r{$x}, #T != $x`, // tree variable in inequality
+		`a{$x} :- d/r{%x}`,       // kind conflict head/body
+		`a :- d/r{$x{y}}`,        // value var with children
+		`a :- d/r, $z != "1"`,    // inequality var unbound
 	}
 	for _, src := range bad {
 		if _, err := ParseQuery(src); err == nil {
