@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fmt fuzz-smoke verify
+.PHONY: build test vet vet-cmd race fmt fuzz-smoke bench bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# The cmd packages have no test files, so the default vet run skips
+# their *_test.go analysis modes; force them on explicitly.
+vet-cmd:
+	$(GO) vet -tests=true ./cmd/...
 
 # gofmt cleanliness: fail listing the files that need formatting.
 fmt:
@@ -30,6 +35,21 @@ fuzz-smoke:
 	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalTree$$' -fuzztime=5s
 	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=5s
 
-# Tier-1 verify: build + tests, extended with gofmt, go vet, the race
-# detector and the fuzz smoke run.
-verify: build fmt vet test race fuzz-smoke
+# The parallel-engine speedup benchmark: raw output lands in bench.out
+# (benchstat-compatible, see bench-compare), the JSON trajectory point
+# in BENCH_parallel.json.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkRunParallel -benchtime 5x -count 1 . | tee bench.out
+	scripts/bench-json.sh < bench.out > BENCH_parallel.json
+	@echo wrote BENCH_parallel.json
+
+# Compare two saved bench.out files: make bench-compare OLD=a.out NEW=b.out
+OLD ?= bench.old
+NEW ?= bench.out
+bench-compare:
+	scripts/bench-compare.sh $(OLD) $(NEW)
+
+# Tier-1 verify: build + tests, extended with gofmt, go vet (test files
+# of the test-less cmd packages included), the race detector and the
+# fuzz smoke run.
+verify: build fmt vet vet-cmd test race fuzz-smoke

@@ -198,6 +198,9 @@ var (
 	ConstService = core.ConstService
 	// NewRandom returns a seeded random fair scheduler.
 	NewRandom = core.NewRandom
+	// DefaultParallelism is the worker count a zero
+	// RunOptions.Parallelism selects (GOMAXPROCS).
+	DefaultParallelism = core.DefaultParallelism
 )
 
 // Regular representation of simple positive systems (Lemma 3.2, Thm 3.3).

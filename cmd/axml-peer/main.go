@@ -101,16 +101,21 @@ func main() {
 	if err := sys.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	p, rec, err := peer.NewDurable(*name, sys, peer.Durability{
-		Dir:           *dataDir,
-		SnapshotEvery: *snapshotEvery,
-		SyncEvery:     *fsync,
-	})
+	policy := core.FailFast
+	if *degrade {
+		policy = core.Degrade
+	}
+	p, rec, err := peer.Open(*name, sys,
+		peer.WithDurability(peer.Durability{
+			Dir:           *dataDir,
+			SnapshotEvery: *snapshotEvery,
+			SyncEvery:     *fsync,
+		}),
+		peer.WithClient(client),
+		peer.WithErrorPolicy(policy),
+	)
 	if err != nil {
 		log.Fatal(err)
-	}
-	if *degrade {
-		p.ErrorPolicy = core.Degrade
 	}
 	if *dataDir != "" {
 		log.Printf("axml-peer %s durable in %s (snapshot seq %d, %d journal records replayed, torn tail: %v)",

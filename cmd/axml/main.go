@@ -31,6 +31,7 @@ import (
 
 func main() {
 	maxSteps := flag.Int("max-steps", 100000, "rewriting step budget")
+	parallel := flag.Int("parallel", 0, "concurrent invocations per run (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -38,7 +39,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	err := cli.Run(os.Stdout, cli.Options{MaxSteps: *maxSteps}, args[0], args[1:]...)
+	err := cli.Run(os.Stdout, cli.Options{MaxSteps: *maxSteps, Parallelism: *parallel}, args[0], args[1:]...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "axml:", err)
 		os.Exit(1)
@@ -46,7 +47,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: axml [-max-steps N] <command> ...
+	fmt.Fprintln(os.Stderr, `usage: axml [-max-steps N] [-parallel N] <command> ...
 commands:
   parse <doc>                    parse and pretty-print a document
   reduce <doc>                   print the reduced version

@@ -31,18 +31,46 @@ type (
 	Publisher = peer.Publisher
 	// Subscriber receives pushed forests into local documents.
 	Subscriber = peer.Subscriber
+	// Mirror replicates a remote peer's document into a local one.
+	Mirror = peer.Mirror
+	// Durability configures a durable peer's journal and snapshots.
+	Durability = peer.Durability
+	// RecoveryInfo reports what a durable peer found on disk at startup.
+	RecoveryInfo = peer.RecoveryInfo
+	// PeerOption configures a peer at construction (see OpenPeer).
+	PeerOption = peer.Option
 )
 
 // Distributed entry points.
 var (
 	// NewPeer wraps a system as an HTTP peer.
 	NewPeer = peer.New
+	// OpenPeer is the canonical peer constructor: options select
+	// durability (WithDurability), the outbound HTTP client (WithClient),
+	// wire-size caps (WithLimits) and the sweep error policy
+	// (WithErrorPolicy).
+	OpenPeer = peer.Open
+	// NewDurablePeer wraps a system as a journal-backed peer,
+	// recovering persisted state first.
+	//
+	// Deprecated: use OpenPeer with WithDurability.
+	NewDurablePeer = peer.NewDurable
+	// WithDurability backs a peer with a write-ahead journal.
+	WithDurability = peer.WithDurability
+	// WithClient sets a peer's outbound HTTP client.
+	WithClient = peer.WithClient
+	// WithLimits caps the bodies a peer reads off the wire.
+	WithLimits = peer.WithLimits
+	// WithErrorPolicy selects how a peer's sweeps react to errors.
+	WithErrorPolicy = peer.WithErrorPolicy
 	// NewPublisher wraps a peer for push mode.
 	NewPublisher = peer.NewPublisher
 	// NewSubscriber wraps a peer to receive pushes.
 	NewSubscriber = peer.NewSubscriber
 	// FetchDoc pulls a document from a peer.
 	FetchDoc = peer.FetchDoc
+	// FetchHashes pulls a peer's per-document digests (anti-entropy).
+	FetchHashes = peer.FetchHashes
 	// MarshalTree and UnmarshalTree move trees through the XML wire
 	// format.
 	MarshalTree = peer.MarshalTree

@@ -1,0 +1,80 @@
+package axml_test
+
+import (
+	"context"
+	"testing"
+
+	"axml"
+)
+
+// The PR-3 durability surface and the peer options must be reachable
+// through the public API: open a durable peer, grow its document, close,
+// reopen, and observe the recovered state.
+func TestFacadeDurablePeerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	build := func() *axml.System {
+		return axml.MustParseSystem(`
+doc d = r{!g}
+func g = t{a{"1"}} :-
+`)
+	}
+	p, rec, err := axml.OpenPeer("alpha", build(),
+		axml.WithDurability(axml.Durability{Dir: dir}),
+		axml.WithLimits(1<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovered {
+		t.Fatalf("cold start reported recovery: %+v", rec)
+	}
+	if !p.Durable() {
+		t.Fatal("peer with a data dir is not durable")
+	}
+	if _, err := p.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	p.System(func(s *axml.System) { want = s.CanonicalString() })
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, rec2, err := axml.OpenPeer("alpha", build(),
+		axml.WithDurability(axml.Durability{Dir: dir}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if !rec2.Recovered {
+		t.Fatalf("restart recovered nothing: %+v", rec2)
+	}
+	var got string
+	p2.System(func(s *axml.System) { got = s.CanonicalString() })
+	if got != want {
+		t.Fatalf("recovered state:\n%s\nwant\n%s", got, want)
+	}
+}
+
+// RunOptions.Parallelism and RunContext through the public API.
+func TestFacadeParallelRun(t *testing.T) {
+	seq := axml.MustParseSystem(tcPublic)
+	if res := seq.Run(axml.RunOptions{Parallelism: 1}); !res.Terminated {
+		t.Fatalf("sequential: %+v", res)
+	}
+	par := axml.MustParseSystem(tcPublic)
+	if res := par.RunContext(context.Background(),
+		axml.RunOptions{Parallelism: axml.DefaultParallelism()}); !res.Terminated {
+		t.Fatalf("parallel: %+v", res)
+	}
+	if seq.CanonicalString() != par.CanonicalString() {
+		t.Fatal("parallel fixpoint diverged from sequential")
+	}
+}
+
+const tcPublic = `
+doc  d0 = r{t{a{1},b{2}},t{a{2},b{3}},t{a{3},b{4}}}
+doc  d1 = r{!g,!f}
+func g = t{a{$x},b{$y}} :- d0/r{t{a{$x},b{$y}}}
+func f = t{a{$x},b{$y}} :- d1/r{t{a{$x},b{$z}}}, d1/r{t{a{$z},b{$y}}}
+`

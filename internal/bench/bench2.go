@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -313,7 +314,7 @@ type forwardPathsService struct {
 
 func (s *forwardPathsService) ServiceName() string { return s.name }
 
-func (s *forwardPathsService) Invoke(b core.Binding) (tree.Forest, error) {
+func (s *forwardPathsService) Invoke(ctx context.Context, b core.Binding) (tree.Forest, error) {
 	input := tree.NewLabel(tree.Input)
 	if b.Context != nil {
 		for _, c := range b.Context.Children {
@@ -322,7 +323,7 @@ func (s *forwardPathsService) Invoke(b core.Binding) (tree.Forest, error) {
 			}
 		}
 	}
-	return s.inner.Invoke(core.Binding{Input: input, Context: b.Context, Docs: b.Docs})
+	return s.inner.Invoke(ctx, core.Binding{Input: input, Context: b.Context, Docs: b.Docs})
 }
 
 // AblationReduceEvery compares reduction after every invocation (the

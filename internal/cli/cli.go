@@ -23,6 +23,9 @@ import (
 type Options struct {
 	// MaxSteps bounds rewriting runs (default core.DefaultMaxSteps).
 	MaxSteps int
+	// Parallelism is the run's worker count (0 = GOMAXPROCS, 1 =
+	// deterministic sequential order).
+	Parallelism int
 	// ReadFile loads system files; nil means os.ReadFile. Tests inject
 	// an in-memory loader.
 	ReadFile func(string) ([]byte, error)
@@ -73,7 +76,7 @@ func Run(out io.Writer, opts Options, cmd string, args ...string) error {
 		if err != nil {
 			return err
 		}
-		res := s.Run(core.RunOptions{MaxSteps: opts.MaxSteps})
+		res := s.Run(core.RunOptions{MaxSteps: opts.MaxSteps, Parallelism: opts.Parallelism})
 		if res.Err != nil {
 			return res.Err
 		}

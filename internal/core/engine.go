@@ -1,0 +1,329 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"axml/internal/tree"
+)
+
+// engine executes one RunContext: the sweep loop, the sterile-call gate
+// and the firing of calls — sequentially or through a bounded worker
+// pool, depending on RunOptions.Parallelism.
+//
+// Concurrency model. The paper defines a run as a set of independent
+// monotone call firings whose results merge by least upper bound, and
+// Theorem 2.1 proves the reachable fixpoint is independent of the firing
+// order. That is the entire license the parallel engine needs: firings
+// race, merges do not. Concretely:
+//
+//   - evaluations (read the live trees, call the service, possibly wait
+//     on the network) run under the system's read lock, any number at a
+//     time;
+//   - merges (append the result forest, repair reduction, bump the
+//     document version) run under the system's write lock — the version
+//     funnel — one at a time;
+//   - a result computed against a state that other firings have since
+//     enlarged is still a sound result of the smaller state, so merging
+//     it is harmless; the version gate re-examines the call on a later
+//     sweep if anything it reads moved.
+//
+// Engine-local bookkeeping (the result counters, the seen map, the stop
+// flag) lives under a separate mutex, always acquired after the system
+// lock, never held across a service invocation.
+type engine struct {
+	s              *System
+	opts           RunOptions
+	sched          Scheduler
+	workers        int
+	maxSteps       int
+	maxErrorSweeps int
+
+	mu              sync.Mutex // guards the fields below
+	res             RunResult
+	seen            map[*tree.Node]uint64
+	stop            bool // budget exhausted or fail-fast: drain, then return
+	cancelSweep     context.CancelFunc
+	changedInSweep  bool
+	failuresInSweep int
+}
+
+func newEngine(s *System, opts RunOptions) *engine {
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = RoundRobin{}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	maxErrorSweeps := opts.MaxErrorSweeps
+	if maxErrorSweeps == 0 {
+		maxErrorSweeps = DefaultMaxErrorSweeps
+	}
+	workers := opts.Parallelism
+	if workers == 0 {
+		workers = DefaultParallelism()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &engine{
+		s:              s,
+		opts:           opts,
+		sched:          sched,
+		workers:        workers,
+		maxSteps:       maxSteps,
+		maxErrorSweeps: maxErrorSweeps,
+		// seen gates provably-sterile re-attempts: a call attempted when
+		// the documents its service reads had version v returns the same
+		// answer as long as those versions stay v (services are
+		// deterministic monotone functions of what they read). Skipping
+		// it satisfies the fairness condition (ii) of Definition 2.4 —
+		// an invocation that would not modify the system.
+		seen: make(map[*tree.Node]uint64),
+	}
+}
+
+// run is the sweep loop shared by the sequential and parallel paths.
+func (e *engine) run(ctx context.Context) RunResult {
+	fruitless := 0 // consecutive no-progress sweeps that saw errors
+	for {
+		if ctx.Err() != nil {
+			if e.res.Err == nil {
+				e.res.Err = ctx.Err()
+			}
+			return e.res
+		}
+		e.res.Sweeps++
+		e.changedInSweep = false
+		e.failuresInSweep = 0
+		// Snapshot the calls existing at sweep start: calls created by
+		// answers during this sweep wait for the next one. This is what
+		// makes every execution fair — no branch can starve another by
+		// producing fresh calls faster than the sweep drains them.
+		e.s.engineMu.RLock()
+		pending := e.s.Calls()
+		e.s.engineMu.RUnlock()
+		purgeSeen(e.seen, pending)
+		e.sched.Order(pending)
+
+		// Each sweep gets a cancellable sub-context so a budget stop or a
+		// fail-fast error aborts the in-flight evaluations instead of
+		// waiting them out.
+		sweepCtx, cancel := context.WithCancel(ctx)
+		e.mu.Lock()
+		e.cancelSweep = cancel
+		e.mu.Unlock()
+		if e.workers <= 1 {
+			for _, c := range pending {
+				if e.stopped() || sweepCtx.Err() != nil {
+					break
+				}
+				if !e.admit(c) {
+					continue
+				}
+				e.fire(sweepCtx, c, nil)
+			}
+		} else {
+			// sem caps concurrent EVALUATIONS, not whole firings: a worker
+			// returns its slot the moment its evaluation finishes, before
+			// queuing for the merge lock. Holding the slot across the merge
+			// wait convoys the pool — merge-waiters exhaust the slots while
+			// the one live evaluation blocks them all, and the engine
+			// degenerates to one admission per service latency.
+			sem := make(chan struct{}, e.workers)
+			var wg sync.WaitGroup
+			for _, c := range pending {
+				if e.stopped() || sweepCtx.Err() != nil {
+					break
+				}
+				if !e.admit(c) {
+					continue
+				}
+				sem <- struct{}{}
+				wg.Add(1)
+				go func(c Call) {
+					defer wg.Done()
+					var once sync.Once
+					release := func() { once.Do(func() { <-sem }) }
+					defer release()
+					e.fire(sweepCtx, c, release)
+				}(c)
+			}
+			wg.Wait()
+		}
+		cancel()
+
+		if e.stopped() {
+			return e.res
+		}
+		if ctx.Err() != nil {
+			if e.res.Err == nil {
+				e.res.Err = ctx.Err()
+			}
+			return e.res
+		}
+		if !e.changedInSweep && e.failuresInSweep == 0 {
+			e.res.Terminated = true
+			return e.res
+		}
+		if !e.changedInSweep {
+			// Errors but no progress: retry the quarantined calls on
+			// another sweep, but give up after maxErrorSweeps of these —
+			// the failures look permanent.
+			fruitless++
+			if fruitless >= e.maxErrorSweeps {
+				return e.res
+			}
+		} else {
+			fruitless = 0
+		}
+		if e.opts.MaxSweeps > 0 && e.res.Sweeps >= e.opts.MaxSweeps {
+			return e.res
+		}
+	}
+}
+
+// admit runs the sterile-call gate for one call and, when the call is
+// live, claims it for this sweep. The version read and the seen-map
+// update are not atomic with respect to racing merges; the race is
+// benign and one-sided — a merge landing in between leaves a stale
+// version in the map, which only makes the next sweep re-attempt a call
+// it could have skipped, never skip a call it had to attempt.
+func (e *engine) admit(c Call) bool {
+	// Version gate first (O(1)): a sterile call skips even the
+	// ancestor-chain validation.
+	e.s.engineMu.RLock()
+	rv := e.s.relevantVersion(c)
+	e.s.engineMu.RUnlock()
+	e.mu.Lock()
+	if e.stop {
+		e.mu.Unlock()
+		return false
+	}
+	if last, ok := e.seen[c.Node]; ok && last == rv {
+		e.mu.Unlock()
+		return false
+	}
+	e.mu.Unlock()
+	// Reduction during this sweep may have pruned the node.
+	e.s.engineMu.RLock()
+	att := e.s.attached(c)
+	e.s.engineMu.RUnlock()
+	if !att {
+		return false
+	}
+	e.mu.Lock()
+	e.seen[c.Node] = rv
+	e.res.Attempts++
+	e.mu.Unlock()
+	return true
+}
+
+// fire evaluates one admitted call and merges its result: evaluation
+// under the read lock (concurrent), merge under the write lock (the
+// version funnel). release, when non-nil, is called as soon as the
+// evaluation is over — the expensive, capacity-limited phase — so the
+// pool can start the next evaluation while this result waits its turn
+// at the funnel.
+func (e *engine) fire(ctx context.Context, c Call, release func()) {
+	s := e.s
+	s.engineMu.RLock()
+	forest, err := s.evaluate(ctx, c)
+	s.engineMu.RUnlock()
+	if release != nil {
+		release()
+	}
+	if err != nil {
+		e.recordFailure(ctx, c, err)
+		return
+	}
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	e.mu.Lock()
+	if e.stop {
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	// A racing merge may have pruned the call node after our evaluation;
+	// re-validate under the write lock so detached results are dropped.
+	if !s.attached(c) {
+		return
+	}
+	if !s.merge(c, forest) {
+		return
+	}
+	e.mu.Lock()
+	e.res.Steps++
+	e.changedInSweep = true
+	step := e.res.Steps
+	if step >= e.maxSteps {
+		e.stopLocked()
+	}
+	e.mu.Unlock()
+	if e.opts.MaxNodes > 0 && s.Size() > e.opts.MaxNodes {
+		e.mu.Lock()
+		e.stopLocked()
+		e.mu.Unlock()
+	}
+	if e.opts.OnStep != nil {
+		// Called under the write lock: the system is quiescent for the
+		// observer and steps are delivered in merge order. The callback
+		// must not re-enter the engine.
+		e.opts.OnStep(step, c)
+	}
+}
+
+// recordFailure applies the error policy to one failed invocation.
+func (e *engine) recordFailure(ctx context.Context, c Call, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stop {
+		// The budget already stopped the run (or fail-fast tripped on an
+		// earlier error); late failures from draining workers are not
+		// part of the result.
+		return
+	}
+	if cause := ctx.Err(); cause != nil && errors.Is(err, cause) {
+		// The sweep was cancelled and the "failure" is our own
+		// cancellation surfacing through the service — not an endpoint
+		// failure. The run loop reports ctx.Err() itself.
+		return
+	}
+	e.res.Failures++
+	if e.res.Errors == nil {
+		e.res.Errors = make(map[string]int)
+	}
+	e.res.Errors[c.Node.Name]++
+	if e.res.Err == nil {
+		e.res.Err = err
+	}
+	if e.opts.ErrorPolicy == FailFast {
+		e.stopLocked()
+		return
+	}
+	// Degrade: quarantine the call for the rest of this sweep (each call
+	// runs at most once per sweep anyway) and make it eligible again
+	// next sweep despite unchanged versions — the failure may have been
+	// transient.
+	delete(e.seen, c.Node)
+	e.failuresInSweep++
+}
+
+func (e *engine) stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stop
+}
+
+// stopLocked (e.mu held) halts dispatch and cancels the sweep's
+// in-flight evaluations.
+func (e *engine) stopLocked() {
+	e.stop = true
+	if e.cancelSweep != nil {
+		e.cancelSweep()
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"axml/internal/tree"
 )
 
@@ -52,7 +54,7 @@ func (s *System) RunFireOnce() FireOnceResult {
 			fired[c.Node] = true
 			res.Invocations++
 			progressed = true
-			changed, err := s.Invoke(c)
+			changed, err := s.Invoke(context.Background(), c)
 			if err != nil {
 				res.Err = err
 				return res

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -107,8 +108,10 @@ func (r *Retry) Recovered() int {
 	return r.recovered
 }
 
-// Invoke implements Service with retries.
-func (r *Retry) Invoke(b Binding) (tree.Forest, error) {
+// Invoke implements Service with retries. A dead context stops the loop:
+// backoff waits abort on cancellation, and no further attempts are made
+// once the caller has given up.
+func (r *Retry) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 	attempts := r.Attempts
 	if attempts < 1 {
 		attempts = DefaultRetryAttempts
@@ -117,9 +120,20 @@ func (r *Retry) Invoke(b Binding) (tree.Forest, error) {
 	made := 0
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			r.backoff(i)
+			if err := r.backoff(ctx, i); err != nil {
+				if lastErr == nil {
+					lastErr = err
+				}
+				break
+			}
 		}
-		forest, err := r.Service.Invoke(b)
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		forest, err := r.Service.Invoke(ctx, b)
 		made = i + 1
 		if err == nil {
 			if i > 0 {
@@ -133,14 +147,22 @@ func (r *Retry) Invoke(b Binding) (tree.Forest, error) {
 		if errors.Is(err, ErrBreakerOpen) {
 			break // an open breaker downstream will not heal within our budget
 		}
+		if cause := ctx.Err(); cause != nil && errors.Is(err, cause) {
+			break // the failure is our own cancellation; retrying cannot help
+		}
+	}
+	if made == 0 {
+		// The context was dead before the service was ever reached.
+		return nil, lastErr
 	}
 	// The service is not named here: the run loop and the transport error
 	// both already carry it.
 	return nil, fmt.Errorf("core: %d attempt(s) failed: %w", made, lastErr)
 }
 
-// backoff sleeps before the i-th retry (i ≥ 1) and counts it.
-func (r *Retry) backoff(i int) {
+// backoff waits before the i-th retry (i ≥ 1) and counts it. The wait is
+// cut short — and the context error returned — if ctx dies first.
+func (r *Retry) backoff(ctx context.Context, i int) error {
 	base := r.BaseDelay
 	if base == 0 {
 		base = DefaultRetryBase
@@ -168,11 +190,24 @@ func (r *Retry) backoff(i int) {
 	}
 	sleep := r.Sleep
 	r.mu.Unlock()
-	if sleep == nil {
-		sleep = time.Sleep
+	if sleep != nil {
+		// Test hook: a virtual clock cannot also wait on the context, so
+		// honor it verbatim and report the context state afterwards.
+		if d > 0 {
+			sleep(d)
+		}
+		return ctx.Err()
 	}
-	if d > 0 {
-		sleep(d)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -203,27 +238,41 @@ func (t *Timeout) ServiceName() string { return t.Service.ServiceName() }
 // Unwrap implements Wrapper.
 func (t *Timeout) Unwrap() Service { return t.Service }
 
-// Invoke implements Service with a deadline.
-func (t *Timeout) Invoke(b Binding) (tree.Forest, error) {
+// Invoke implements Service with a deadline. The wrapped service sees a
+// context bounded by both the caller's context and the limit, so
+// ctx-aware services (RemoteService, backoff waits) cancel their work the
+// moment the deadline passes; a service that ignores its context is
+// abandoned as before.
+func (t *Timeout) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 	limit := t.Limit
 	if limit == 0 {
 		limit = DefaultTimeout
 	}
+	attemptCtx, cancel := context.WithTimeout(ctx, limit)
 	type outcome struct {
 		forest tree.Forest
 		err    error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		forest, err := t.Service.Invoke(b)
+		defer cancel()
+		forest, err := t.Service.Invoke(attemptCtx, b)
 		done <- outcome{forest, err}
 	}()
-	timer := time.NewTimer(limit)
-	defer timer.Stop()
 	select {
 	case o := <-done:
+		if o.err != nil && ctx.Err() == nil && errors.Is(o.err, context.DeadlineExceeded) &&
+			attemptCtx.Err() != nil {
+			// A ctx-aware wrapped service surfacing our own deadline:
+			// normalize to the timeout error callers match on.
+			return nil, fmt.Errorf("core: service %q: %w after %v",
+				t.Service.ServiceName(), ErrTimeout, limit)
+		}
 		return o.forest, o.err
-	case <-timer.C:
+	case <-attemptCtx.Done():
+		if err := ctx.Err(); err != nil {
+			return nil, err // the caller gave up first; not a timeout
+		}
 		return nil, fmt.Errorf("core: service %q: %w after %v",
 			t.Service.ServiceName(), ErrTimeout, limit)
 	}
@@ -309,7 +358,7 @@ func (br *Breaker) cooldown() time.Duration {
 }
 
 // Invoke implements Service with circuit breaking.
-func (br *Breaker) Invoke(b Binding) (tree.Forest, error) {
+func (br *Breaker) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 	br.mu.Lock()
 	if br.open {
 		if br.probing || br.now().Sub(br.openedAt) < br.cooldown() {
@@ -321,11 +370,18 @@ func (br *Breaker) Invoke(b Binding) (tree.Forest, error) {
 	}
 	br.mu.Unlock()
 
-	forest, err := br.Service.Invoke(b)
+	forest, err := br.Service.Invoke(ctx, b)
 
 	br.mu.Lock()
 	defer br.mu.Unlock()
 	if err != nil {
+		if cause := ctx.Err(); cause != nil && errors.Is(err, cause) {
+			// The caller cancelled: that says nothing about endpoint
+			// health, so it neither counts toward opening nor resolves a
+			// probe (the probe slot reopens for the next call).
+			br.probing = false
+			return nil, err
+		}
 		br.consecutive++
 		opensAt := br.OpensAt
 		if opensAt < 1 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -30,7 +31,7 @@ func (s *scriptService) Calls() int {
 	return s.calls
 }
 
-func (s *scriptService) Invoke(Binding) (tree.Forest, error) {
+func (s *scriptService) Invoke(context.Context, Binding) (tree.Forest, error) {
 	s.mu.Lock()
 	s.calls++
 	n := s.calls
@@ -55,7 +56,7 @@ func TestRetryUntilSuccess(t *testing.T) {
 		Jitter:    -1, // exact exponential schedule
 		Sleep:     func(d time.Duration) { delays = append(delays, d) },
 	}
-	forest, err := r.Invoke(Binding{})
+	forest, err := r.Invoke(context.Background(), Binding{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRetryBackoffCapped(t *testing.T) {
 		Jitter:    -1,
 		Sleep:     func(d time.Duration) { delays = append(delays, d) },
 	}
-	_, err := r.Invoke(Binding{})
+	_, err := r.Invoke(context.Background(), Binding{})
 	if err == nil {
 		t.Fatal("exhausted retry succeeded")
 	}
@@ -111,7 +112,7 @@ func TestRetryJitterDeterministicFromSeed(t *testing.T) {
 			Rng:       rand.New(rand.NewSource(42)),
 			Sleep:     func(d time.Duration) { delays = append(delays, d) },
 		}
-		r.Invoke(Binding{})
+		r.Invoke(context.Background(), Binding{})
 		return delays
 	}
 	a, b := schedule(), schedule()
@@ -127,11 +128,11 @@ func TestRetryJitterDeterministicFromSeed(t *testing.T) {
 
 func TestTimeoutExpiresAndPasses(t *testing.T) {
 	slow := &Timeout{Service: &scriptService{name: "f", block: 200 * time.Millisecond}, Limit: 5 * time.Millisecond}
-	if _, err := slow.Invoke(Binding{}); !errors.Is(err, ErrTimeout) {
+	if _, err := slow.Invoke(context.Background(), Binding{}); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	fast := &Timeout{Service: &scriptService{name: "f"}, Limit: time.Second}
-	if _, err := fast.Invoke(Binding{}); err != nil {
+	if _, err := fast.Invoke(context.Background(), Binding{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -146,20 +147,20 @@ func TestBreakerLifecycle(t *testing.T) {
 		Now:      func() time.Time { return clock },
 	}
 	// Two consecutive failures open the circuit.
-	if _, err := br.Invoke(Binding{}); err == nil {
+	if _, err := br.Invoke(context.Background(), Binding{}); err == nil {
 		t.Fatal("failure 1 passed")
 	}
 	if br.State() != "closed" {
 		t.Fatalf("state after 1 failure = %s", br.State())
 	}
-	if _, err := br.Invoke(Binding{}); err == nil {
+	if _, err := br.Invoke(context.Background(), Binding{}); err == nil {
 		t.Fatal("failure 2 passed")
 	}
 	if br.State() != "open" || br.Opens() != 1 {
 		t.Fatalf("state=%s opens=%d", br.State(), br.Opens())
 	}
 	// While open: short-circuit without touching the service.
-	if _, err := br.Invoke(Binding{}); !errors.Is(err, ErrBreakerOpen) {
+	if _, err := br.Invoke(context.Background(), Binding{}); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("open breaker err = %v", err)
 	}
 	if svc.Calls() != 2 || br.ShortCircuits() != 1 {
@@ -171,7 +172,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	if br.State() != "half-open" {
 		t.Fatalf("state after cooldown = %s", br.State())
 	}
-	if _, err := br.Invoke(Binding{}); err == nil || errors.Is(err, ErrBreakerOpen) {
+	if _, err := br.Invoke(context.Background(), Binding{}); err == nil || errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("probe err = %v", err)
 	}
 	if br.Opens() != 2 || br.State() != "open" {
@@ -179,13 +180,13 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 	// Next cooldown: the probe succeeds and closes the circuit.
 	clock = clock.Add(61 * time.Second)
-	if _, err := br.Invoke(Binding{}); err != nil {
+	if _, err := br.Invoke(context.Background(), Binding{}); err != nil {
 		t.Fatalf("healing probe: %v", err)
 	}
 	if br.State() != "closed" {
 		t.Fatalf("state after healing = %s", br.State())
 	}
-	if _, err := br.Invoke(Binding{}); err != nil {
+	if _, err := br.Invoke(context.Background(), Binding{}); err != nil {
 		t.Fatalf("closed breaker: %v", err)
 	}
 }
@@ -194,7 +195,7 @@ func TestRetryGivesUpOnOpenBreaker(t *testing.T) {
 	svc := &scriptService{name: "f", failFirst: 100}
 	br := &Breaker{Service: svc, OpensAt: 1, Cooldown: time.Hour}
 	r := &Retry{Service: br, Attempts: 5, Sleep: func(time.Duration) {}}
-	_, err := r.Invoke(Binding{})
+	_, err := r.Invoke(context.Background(), Binding{})
 	if !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("err = %v", err)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"axml/internal/subsume"
 	"axml/internal/tree"
@@ -71,24 +73,38 @@ func (s *System) Calls() []Call {
 }
 
 // Invoke performs the invocation of Section 2.2 on the given call: it
-// builds the input and context documents, evaluates the service, appends
-// the result forest as siblings of the call node and reduces the document.
-// It reports whether the system strictly grew (I ≢ I', i.e. whether this
-// was a rewriting step in the sense of Definition 2.4).
-func (s *System) Invoke(c Call) (changed bool, err error) {
+// builds the input and context documents, evaluates the service under the
+// given context, appends the result forest as siblings of the call node
+// and reduces the document. It reports whether the system strictly grew
+// (I ≢ I', i.e. whether this was a rewriting step in the sense of
+// Definition 2.4). Cancellation of ctx aborts the service evaluation (for
+// services that honor it) but never leaves the document half-mutated: the
+// merge is all-or-nothing after the evaluation returned.
+func (s *System) Invoke(ctx context.Context, c Call) (changed bool, err error) {
+	forest, err := s.evaluate(ctx, c)
+	if err != nil {
+		return false, err
+	}
+	return s.merge(c, forest), nil
+}
+
+// evaluate is the read-only half of Invoke: it validates the call, builds
+// the input/context binding over the live trees and evaluates the service.
+// The parallel engine runs it under the system's read lock, so any number
+// of evaluations proceed concurrently.
+func (s *System) evaluate(ctx context.Context, c Call) (tree.Forest, error) {
 	svc := s.funcs[c.Node.Name]
 	if svc == nil {
-		return false, fmt.Errorf("core: call to undefined service %q", c.Node.Name)
+		return nil, fmt.Errorf("core: call to undefined service %q", c.Node.Name)
 	}
-	doc := s.docs[c.Doc]
-	if doc == nil {
-		return false, fmt.Errorf("core: call in unknown document %q", c.Doc)
+	if s.docs[c.Doc] == nil {
+		return nil, fmt.Errorf("core: call in unknown document %q", c.Doc)
 	}
 	attach := c.Parent
 	if attach == nil {
 		// Function roots are excluded by Definition 2.1(ii); documents
 		// added through AddDocument never reach this. Guard anyway.
-		return false, fmt.Errorf("core: call %q is a document root", c.Node.Name)
+		return nil, fmt.Errorf("core: call %q is a document root", c.Node.Name)
 	}
 	// Bindings alias the live trees: services read them (pattern
 	// matching never mutates, and head instantiation copies every bound
@@ -100,14 +116,27 @@ func (s *System) Invoke(c Call) (changed bool, err error) {
 		Context: attach,
 		Docs:    s.Docs(),
 	}
-	forest, err := svc.Invoke(b)
+	forest, err := svc.Invoke(ctx, b)
 	if err != nil {
-		return false, fmt.Errorf("core: service %q: %w", c.Node.Name, err)
+		return nil, fmt.Errorf("core: service %q: %w", c.Node.Name, err)
 	}
+	return forest, nil
+}
+
+// merge is the mutating half of Invoke: it appends the result forest as
+// siblings of the call node, repairs reduction locally and bumps the
+// document version, reporting whether the system strictly grew. The
+// parallel engine serializes merges under the system's write lock — the
+// "version funnel" through which every result lands. Merging is a least
+// upper bound, so the order in which racing results arrive does not
+// affect the reachable fixpoint (Theorem 2.1).
+func (s *System) merge(c Call, forest tree.Forest) (changed bool) {
+	attach := c.Parent
+	doc := s.docs[c.Doc]
 	// Results subsumed by existing siblings cannot change the document.
 	fresh := reduceForestAgainst(attach, subsume.ReduceForest(forest))
 	if len(fresh) == 0 {
-		return false, nil
+		return false
 	}
 	// Localized append-and-reduce. Documents are maintained reduced (no
 	// subtree subsumed by a sibling, recursively), and under that
@@ -155,7 +184,7 @@ func (s *System) Invoke(c Call) (changed bool, err error) {
 		ancestor.Children = pruned
 	}
 	s.bumpVersion(c.Doc)
-	return true, nil
+	return true
 }
 
 // relevantVersion sums the versions of the documents whose content can
@@ -269,11 +298,23 @@ const (
 )
 
 // RunOptions bounds a rewriting run. The zero value means: round-robin
-// scheduling, at most DefaultMaxSteps rewriting steps, no node bound and
-// fail-fast error handling.
+// scheduling, GOMAXPROCS-parallel firing, at most DefaultMaxSteps
+// rewriting steps, no node bound and fail-fast error handling.
 type RunOptions struct {
 	// Scheduler orders call attempts within a sweep; nil means RoundRobin.
 	Scheduler Scheduler
+	// Parallelism is the number of calls fired concurrently within a
+	// sweep: 0 means GOMAXPROCS, 1 forces the deterministic sequential
+	// engine (exact step/attempt accounting, strict scheduler order),
+	// and n > 1 uses a bounded pool of n workers. Theorem 2.1 (the
+	// fixpoint is independent of the firing order) is what licenses
+	// parallel firing: results merge by least upper bound, so races
+	// between firings are semantically harmless and the final state
+	// equals the sequential one. Counters (Steps, Attempts, Sweeps) may
+	// differ run to run when Parallelism > 1; use 1 when a test asserts
+	// exact counts or needs the scheduler's order to be observed
+	// strictly.
+	Parallelism int
 	// MaxSteps caps the number of strictly-growing invocations; 0 means
 	// DefaultMaxSteps. Use a finite budget for possibly-infinite systems.
 	MaxSteps int
@@ -327,112 +368,35 @@ type RunResult struct {
 }
 
 // Run executes a fair rewriting sequence in place until termination or
-// budget exhaustion and reports the outcome. Fairness: the engine works in
-// sweeps; a sweep attempts every function node that exists when its turn
-// comes (including nodes created earlier in the same sweep), each at most
-// once per sweep. A system state is final iff a whole sweep changes
-// nothing; by Theorem 2.1 the final state does not depend on the
-// scheduler.
+// budget exhaustion and reports the outcome, with a background context.
+// See RunContext.
 func (s *System) Run(opts RunOptions) RunResult {
-	sched := opts.Scheduler
-	if sched == nil {
-		sched = RoundRobin{}
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = DefaultMaxSteps
-	}
-	var res RunResult
-	// seen gates provably-sterile re-attempts: a call attempted when the
-	// documents its service reads had version v returns the same answer
-	// as long as those versions stay v (services are deterministic
-	// monotone functions of what they read). Skipping it satisfies the
-	// fairness condition (ii) of Definition 2.4 — an invocation would
-	// not modify the system.
-	seen := make(map[*tree.Node]uint64)
-	maxErrorSweeps := opts.MaxErrorSweeps
-	if maxErrorSweeps == 0 {
-		maxErrorSweeps = DefaultMaxErrorSweeps
-	}
-	fruitless := 0 // consecutive no-progress sweeps that saw errors
-	for {
-		res.Sweeps++
-		changedInSweep := false
-		failuresInSweep := 0
-		// Snapshot the calls existing at sweep start: calls created by
-		// answers during this sweep wait for the next one. This is what
-		// makes every execution fair — no branch can starve another by
-		// producing fresh calls faster than the sweep drains them.
-		pending := s.Calls()
-		purgeSeen(seen, pending)
-		sched.Order(pending)
-		for _, c := range pending {
-			// Version gate first (O(1)): a sterile call skips even the
-			// ancestor-chain validation.
-			rv := s.relevantVersion(c)
-			if last, ok := seen[c.Node]; ok && last == rv {
-				continue
-			}
-			// Reduction during this sweep may have pruned the node.
-			if !s.attached(c) {
-				continue
-			}
-			seen[c.Node] = rv
-			res.Attempts++
-			changed, err := s.Invoke(c)
-			if err != nil {
-				res.Failures++
-				if res.Errors == nil {
-					res.Errors = make(map[string]int)
-				}
-				res.Errors[c.Node.Name]++
-				if res.Err == nil {
-					res.Err = err
-				}
-				if opts.ErrorPolicy == FailFast {
-					return res
-				}
-				// Degrade: quarantine the call for the rest of this sweep
-				// (each call runs at most once per sweep anyway) and make
-				// it eligible again next sweep despite unchanged versions
-				// — the failure may have been transient.
-				delete(seen, c.Node)
-				failuresInSweep++
-				continue
-			}
-			if changed {
-				res.Steps++
-				changedInSweep = true
-				if opts.OnStep != nil {
-					opts.OnStep(res.Steps, c)
-				}
-				if res.Steps >= maxSteps {
-					return res
-				}
-				if opts.MaxNodes > 0 && s.Size() > opts.MaxNodes {
-					return res
-				}
-			}
-		}
-		if !changedInSweep && failuresInSweep == 0 {
-			res.Terminated = true
-			return res
-		}
-		if !changedInSweep {
-			// Errors but no progress: retry the quarantined calls on
-			// another sweep, but give up after maxErrorSweeps of these —
-			// the failures look permanent.
-			fruitless++
-			if fruitless >= maxErrorSweeps {
-				return res
-			}
-		} else {
-			fruitless = 0
-		}
-		if opts.MaxSweeps > 0 && res.Sweeps >= opts.MaxSweeps {
-			return res
-		}
-	}
+	return s.RunContext(context.Background(), opts)
+}
+
+// RunContext executes a fair rewriting sequence in place until
+// termination, budget exhaustion or context cancellation, and reports the
+// outcome. Fairness: the engine works in sweeps; a sweep attempts every
+// function node that exists when its turn comes (including nodes created
+// earlier in the same sweep), each at most once per sweep. A system state
+// is final iff a whole sweep changes nothing; by Theorem 2.1 the final
+// state does not depend on the scheduler — nor on the firing parallelism
+// (see RunOptions.Parallelism).
+//
+// The context is passed to every service invocation; cancelling it stops
+// the run at the next call boundary (in-flight calls are cancelled through
+// their own ctx) and RunResult.Err reports ctx.Err(). The documents are
+// never left half-mutated: a cancelled run stops at a consistent (merely
+// earlier) state, from which a later run resumes by monotonicity.
+//
+// Concurrent RunContext calls on the same System are safe: all engines
+// funnel mutations through the system's version-funnel lock. Mutating the
+// system through any other path (Touch, Restore, direct tree access)
+// while a run is in flight is not synchronized and remains the caller's
+// responsibility, exactly as for the sequential engine.
+func (s *System) RunContext(ctx context.Context, opts RunOptions) RunResult {
+	e := newEngine(s, opts)
+	return e.run(ctx)
 }
 
 // purgeSeen drops version-gate entries whose nodes are no longer attached
@@ -508,3 +472,7 @@ func (s *System) Terminates(maxSteps int) (bool, int) {
 	res := c.Run(RunOptions{MaxSteps: maxSteps})
 	return res.Terminated, res.Steps
 }
+
+// DefaultParallelism is the worker count used when RunOptions.Parallelism
+// is zero: one worker per schedulable CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }

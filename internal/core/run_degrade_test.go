@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 // flakyConst is a ConstService that fails its first failFirst invocations.
 func flakyConst(name string, result tree.Forest, failFirst int) *GoService {
 	calls := 0
-	return &GoService{Name: name, Fn: func(Binding) (tree.Forest, error) {
+	return &GoService{Name: name, Fn: func(context.Context, Binding) (tree.Forest, error) {
 		calls++
 		if calls <= failFirst {
 			return nil, fmt.Errorf("%s: transient failure %d", name, calls)
@@ -68,7 +69,7 @@ func TestDegradeReachesCleanFixpoint(t *testing.T) {
 // exactly as before.
 func TestFailFastRemainsDefault(t *testing.T) {
 	s := faultySystem(t, 1)
-	res := s.Run(RunOptions{})
+	res := s.Run(RunOptions{Parallelism: 1}) // "nothing else ran" needs sequential dispatch
 	if res.Err == nil || res.Terminated {
 		t.Fatalf("fail-fast run: %+v", res)
 	}
@@ -90,7 +91,7 @@ func TestDegradeGivesUpOnPermanentFailure(t *testing.T) {
 		syntax.MustParseDocument(`a{!dead}`))); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddService(&GoService{Name: "dead", Fn: func(Binding) (tree.Forest, error) {
+	if err := s.AddService(&GoService{Name: "dead", Fn: func(context.Context, Binding) (tree.Forest, error) {
 		return nil, fmt.Errorf("dead: permanent failure")
 	}}); err != nil {
 		t.Fatal(err)

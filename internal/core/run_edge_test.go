@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"axml/internal/syntax"
@@ -48,7 +49,7 @@ func f = hit :-
 		t.Fatal("fallback containsNode failed")
 	}
 	// Invoking a hand-built call works through findPath.
-	changed, err := s.Invoke(hand)
+	changed, err := s.Invoke(context.Background(), hand)
 	if err != nil || !changed {
 		t.Fatalf("invoke: changed=%v err=%v", changed, err)
 	}

@@ -1,0 +1,92 @@
+package core
+
+import "sync"
+
+// rwLock is the reader-preference read/write lock behind the version
+// funnel. It differs from sync.RWMutex in exactly one way: RLock waits
+// only while a writer is ACTIVE, never while writers are merely queued.
+//
+// Why not sync.RWMutex? Its writer-preference semantics serialize the
+// parallel engine. Evaluations hold the read side for a whole service
+// invocation (milliseconds of network wait in the paper's setting);
+// merges take the write side for microseconds. Under sync.RWMutex a
+// queued merge blocks every new RLock, so the steady state degenerates
+// to: one evaluation in flight, every other worker parked behind the
+// writer queue, one merge plus one admission per service latency — the
+// pool runs at parallelism 1 no matter its size. With reader preference
+// the evaluations overlap freely and merges drain in bursts between
+// them.
+//
+// Reader preference risks writer starvation in general, but the engine
+// bounds it structurally: only engines take the read side, each read
+// hold spans a single evaluation, and a sweep admits a finite snapshot
+// of calls. A queued merge may wait while the evaluation stream flows
+// over it, but the stream ends with the sweep (and every sweep ends:
+// its call list is fixed at sweep start), at which point readers drain
+// to zero and all queued merges land before the sweep barrier releases.
+type rwLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // lazily bound to mu; access only with mu held
+	readers int
+	writer  bool
+}
+
+// c returns the condition variable, binding it on first use. Callers
+// hold l.mu, which makes the lazy initialization race-free and keeps
+// the zero rwLock usable (System values are created in several places).
+func (l *rwLock) c() *sync.Cond {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.mu)
+	}
+	return l.cond
+}
+
+// RLock acquires the read side: it waits out an active writer, then
+// joins the reader population. Queued writers do not block it — that is
+// the point (see the type comment).
+func (l *rwLock) RLock() {
+	l.mu.Lock()
+	for l.writer {
+		l.c().Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// RUnlock releases the read side, waking queued writers when the last
+// reader leaves.
+func (l *rwLock) RUnlock() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers < 0 {
+		l.mu.Unlock()
+		panic("core: RUnlock of unlocked rwLock")
+	}
+	if l.readers == 0 {
+		l.c().Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// Lock acquires the write side: exclusive against readers and writers.
+func (l *rwLock) Lock() {
+	l.mu.Lock()
+	for l.writer || l.readers > 0 {
+		l.c().Wait()
+	}
+	l.writer = true
+	l.mu.Unlock()
+}
+
+// Unlock releases the write side, waking both queued readers and
+// queued writers; the for-loops in RLock and Lock arbitrate.
+func (l *rwLock) Unlock() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("core: Unlock of unlocked rwLock")
+	}
+	l.writer = false
+	l.c().Broadcast()
+	l.mu.Unlock()
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"axml/internal/query"
@@ -55,9 +56,18 @@ func (b Binding) docs() query.Docs {
 type Service interface {
 	// ServiceName returns the function name f the service is bound to.
 	ServiceName() string
-	// Invoke evaluates the service on the binding. The returned forest
-	// must consist of freshly allocated trees owned by the caller.
-	Invoke(b Binding) (tree.Forest, error)
+	// Invoke evaluates the service on the binding. The context carries
+	// the caller's cancellation and deadline: implementations that wait
+	// (on the network, on a backoff timer) must return promptly with
+	// ctx.Err() once the context is done, and must not retain ctx beyond
+	// the call. The returned forest must consist of freshly allocated
+	// trees owned by the caller.
+	//
+	// When the engine runs with RunOptions.Parallelism > 1, distinct
+	// invocations of the same Service may be concurrent; implementations
+	// must be safe for concurrent use (stateless services are trivially
+	// so).
+	Invoke(ctx context.Context, b Binding) (tree.Forest, error)
 }
 
 // QueryService is a positive service: a service defined by a positive
@@ -86,7 +96,12 @@ func NewQueryService(q *query.Query) (*QueryService, error) {
 func (s *QueryService) ServiceName() string { return s.Query.Name }
 
 // Invoke evaluates the defining query's snapshot semantics on the binding.
-func (s *QueryService) Invoke(b Binding) (tree.Forest, error) {
+// Evaluation is pure and never blocks, so the context is only consulted on
+// entry: an already-cancelled invocation is skipped.
+func (s *QueryService) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return query.Snapshot(s.Query, b.docs())
 }
 
@@ -103,21 +118,25 @@ type GoService struct {
 	// Name is the function name the service answers to.
 	Name string
 	// Fn computes the result forest. It must be monotone and must return
-	// fresh trees.
-	Fn func(b Binding) (tree.Forest, error)
+	// fresh trees; implementations that wait should honor ctx
+	// cancellation. Under a parallel run Fn may be called concurrently,
+	// so any state it captures must be synchronized.
+	Fn func(ctx context.Context, b Binding) (tree.Forest, error)
 }
 
 // ServiceName implements Service.
 func (s *GoService) ServiceName() string { return s.Name }
 
 // Invoke implements Service.
-func (s *GoService) Invoke(b Binding) (tree.Forest, error) { return s.Fn(b) }
+func (s *GoService) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
+	return s.Fn(ctx, b)
+}
 
 // ConstService returns a black-box service that always returns (a copy of)
 // the given forest, the simplest monotone service. Useful in tests and as
 // the paper's Example 2.1 service.
 func ConstService(name string, result tree.Forest) *GoService {
-	return &GoService{Name: name, Fn: func(Binding) (tree.Forest, error) {
+	return &GoService{Name: name, Fn: func(context.Context, Binding) (tree.Forest, error) {
 		return result.Copy(), nil
 	}}
 }

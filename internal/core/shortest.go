@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -45,7 +46,7 @@ func (s *System) ShortestRun(target func(*System) bool, opts ShortestOptions) (s
 			if !found {
 				continue
 			}
-			changed, err := next.Invoke(nc)
+			changed, err := next.Invoke(context.Background(), nc)
 			if err != nil {
 				return 0, nil, false, err
 			}

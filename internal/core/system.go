@@ -31,6 +31,17 @@ type System struct {
 	// out-of-band growth, Restore merges). Durability layers register here
 	// to learn which documents changed without reaching into the engine.
 	onMutate func(docName string)
+	// engineMu is the version funnel: RunContext evaluates services under
+	// the read side (any number of invocations in flight) and merges
+	// results — the only tree mutations a run performs — under the write
+	// side. It lives on the System so concurrent runs over the same
+	// system serialize their merges against each other, not just within
+	// one run. It is a reader-preference lock, not a sync.RWMutex — a
+	// pending merge must not block new evaluations (see rwLock). Non-
+	// engine mutators (Touch, Restore, AddDocument) do not take it: they
+	// are documented as requiring external synchronization with in-flight
+	// runs, and the peer layer provides exactly that with its own lock.
+	engineMu rwLock
 }
 
 // NewSystem returns an empty system.

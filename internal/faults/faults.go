@@ -7,6 +7,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -78,8 +79,10 @@ func (f *FaultService) Injected() int {
 	return f.injected
 }
 
-// Invoke implements core.Service with fault injection.
-func (f *FaultService) Invoke(b core.Binding) (tree.Forest, error) {
+// Invoke implements core.Service with fault injection. Injected latency
+// is context-aware: a cancelled caller gets ctx.Err() instead of waiting
+// out the simulated delay (mirroring a real connection teardown).
+func (f *FaultService) Invoke(ctx context.Context, b core.Binding) (tree.Forest, error) {
 	f.mu.Lock()
 	f.calls++
 	n := f.calls
@@ -103,16 +106,23 @@ func (f *FaultService) Invoke(b core.Binding) (tree.Forest, error) {
 	sleep := f.Sleep
 	f.mu.Unlock()
 	if delay > 0 {
-		if sleep == nil {
-			sleep = time.Sleep
+		if sleep != nil {
+			sleep(delay)
+		} else {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			}
 		}
-		sleep(delay)
 	}
 	if fail {
 		return nil, fmt.Errorf("faults: service %q invocation %d: %w",
 			f.Service.ServiceName(), n, ErrInjected)
 	}
-	return f.Service.Invoke(b)
+	return f.Service.Invoke(ctx, b)
 }
 
 // ErrCrash is returned by a CrashWriter for its crash write and every

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -21,7 +22,7 @@ func TestErrorEveryK(t *testing.T) {
 	f := &FaultService{Service: okService(), ErrorEvery: 3}
 	var failed []int
 	for i := 1; i <= 9; i++ {
-		_, err := f.Invoke(core.Binding{})
+		_, err := f.Invoke(context.Background(), core.Binding{})
 		if err != nil {
 			if !errors.Is(err, ErrInjected) {
 				t.Fatalf("call %d: %v", i, err)
@@ -40,7 +41,7 @@ func TestErrorEveryK(t *testing.T) {
 func TestFailFirstN(t *testing.T) {
 	f := &FaultService{Service: okService(), FailFirst: 2}
 	for i := 1; i <= 4; i++ {
-		_, err := f.Invoke(core.Binding{})
+		_, err := f.Invoke(context.Background(), core.Binding{})
 		if (i <= 2) != (err != nil) {
 			t.Fatalf("call %d: err = %v", i, err)
 		}
@@ -55,7 +56,7 @@ func TestSeededRateIsReproducible(t *testing.T) {
 		f := &FaultService{Service: okService(), Rate: 0.5, Seed: 7}
 		var out []bool
 		for i := 0; i < 32; i++ {
-			_, err := f.Invoke(core.Binding{})
+			_, err := f.Invoke(context.Background(), core.Binding{})
 			out = append(out, err != nil)
 		}
 		return out
@@ -83,7 +84,7 @@ func TestLatencyAndSpikes(t *testing.T) {
 		Sleep:      func(d time.Duration) { slept = append(slept, d) },
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := f.Invoke(core.Binding{}); err != nil {
+		if _, err := f.Invoke(context.Background(), core.Binding{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -97,7 +98,7 @@ func TestLatencyAndSpikes(t *testing.T) {
 
 func TestFaultServiceDelegatesWhenHealthy(t *testing.T) {
 	f := &FaultService{Service: okService()}
-	forest, err := f.Invoke(core.Binding{})
+	forest, err := f.Invoke(context.Background(), core.Binding{})
 	if err != nil || len(forest) != 1 || forest[0].Name != "ok" {
 		t.Fatalf("forest=%v err=%v", forest, err)
 	}

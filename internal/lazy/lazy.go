@@ -21,6 +21,7 @@
 package lazy
 
 import (
+	"context"
 	"fmt"
 
 	"axml/internal/core"
@@ -281,7 +282,7 @@ func Eval(s *core.System, q *query.Query, opts Options) (Result, error) {
 				continue
 			}
 			res.Invocations++
-			changed, err := s.Invoke(c)
+			changed, err := s.Invoke(context.Background(), c)
 			if err != nil {
 				return res, err
 			}

@@ -1,6 +1,7 @@
 package pathexpr
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -428,7 +429,12 @@ func NewRQueryService(q *RQuery) (*RQueryService, error) {
 func (s *RQueryService) ServiceName() string { return s.Query.Name }
 
 // Invoke implements core.Service by direct snapshot evaluation.
-func (s *RQueryService) Invoke(b core.Binding) (tree.Forest, error) {
+// Evaluation is pure and never blocks, so the context is only consulted
+// on entry.
+func (s *RQueryService) Invoke(ctx context.Context, b core.Binding) (tree.Forest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	docs := query.Docs{}
 	for k, v := range b.Docs {
 		docs[k] = v

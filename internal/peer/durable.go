@@ -83,17 +83,21 @@ type store struct {
 
 // NewDurable wraps a system as a peer backed by a write-ahead journal in
 // d.Dir, first recovering any state a previous incarnation persisted
-// there. The system should be freshly built from its definition (seed
-// documents and services); recovery merges the persisted document states
-// over the seed. After NewDurable the system must only be accessed
-// through the peer's methods, and the caller should run AntiEntropy once
-// live peers are reachable to pull mirrored documents that moved while
-// this peer was down.
+// there.
+//
+// Deprecated: use Open(name, s, WithDurability(d)), which composes with
+// the other options.
 func NewDurable(name string, s *core.System, d Durability) (*Peer, RecoveryInfo, error) {
+	return Open(name, s, WithDurability(d))
+}
+
+// openStore recovers the snapshot and journal found in d.Dir into the
+// freshly-built system (the persisted document states LUB-merge over the
+// seed) and reopens the journal for appending. It runs before the peer
+// exists: recovery's Restore merges must not observe a mutation hook
+// that would journal them back.
+func openStore(name string, s *core.System, d Durability) (*store, RecoveryInfo, error) {
 	var info RecoveryInfo
-	if d.Dir == "" {
-		return New(name, s), info, nil
-	}
 	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
 		return nil, info, err
 	}
@@ -163,15 +167,7 @@ func NewDurable(name string, s *core.System, d Durability) (*Peer, RecoveryInfo,
 	if snapshotEvery == 0 {
 		snapshotEvery = DefaultSnapshotEvery
 	}
-	p := New(name, s)
-	p.store = &store{dir: d.Dir, j: j, snapshotEvery: snapshotEvery}
-	p.dirty = make(map[string]bool)
-	// The hook fires inside every mutating operation, which all hold
-	// p.mu, so dirty needs no lock of its own. It is installed after
-	// recovery on purpose: recovery's own Restore merges must not journal
-	// themselves back.
-	s.SetMutationHook(func(docName string) { p.dirty[docName] = true })
-	return p, info, nil
+	return &store{dir: d.Dir, j: j, snapshotEvery: snapshotEvery}, info, nil
 }
 
 // Durable reports whether the peer journals its mutations.
@@ -300,7 +296,11 @@ func (p *Peer) AntiEntropy() (resynced int, err error) {
 	mirrors := append([]*Mirror(nil), p.mirrors...)
 	p.mirrorMu.Unlock()
 	for _, m := range mirrors {
-		hashes, herr := FetchHashes(m.Client, m.Remote)
+		client := m.Client
+		if client == nil {
+			client = p.client // the peer's outbound client (WithClient)
+		}
+		hashes, herr := FetchHashes(client, m.Remote)
 		if herr != nil {
 			if err == nil {
 				err = herr

@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -43,7 +44,7 @@ func TestRemoteInvokeRejectsOversizedResponse(t *testing.T) {
 	setMaxWireBytes(t, 4096)
 	srv := hugeBodyServer(t)
 	rs := &RemoteService{Name: "f", URL: strings.TrimSuffix(srv.URL+PathInvoke, PathInvoke)}
-	_, err := rs.Invoke(core.Binding{Input: tree.NewLabel(tree.Input)})
+	_, err := rs.Invoke(context.Background(), core.Binding{Input: tree.NewLabel(tree.Input)})
 	if !errors.Is(err, ErrResponseTooLarge) {
 		t.Fatalf("want ErrResponseTooLarge, got %v", err)
 	}
@@ -51,7 +52,7 @@ func TestRemoteInvokeRejectsOversizedResponse(t *testing.T) {
 	// A per-service cap overrides the package default.
 	setMaxWireBytes(t, 1<<30)
 	rs.MaxBytes = 2048
-	_, err = rs.Invoke(core.Binding{Input: tree.NewLabel(tree.Input)})
+	_, err = rs.Invoke(context.Background(), core.Binding{Input: tree.NewLabel(tree.Input)})
 	if !errors.Is(err, ErrResponseTooLarge) {
 		t.Fatalf("per-service cap: want ErrResponseTooLarge, got %v", err)
 	}

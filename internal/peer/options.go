@@ -1,0 +1,47 @@
+package peer
+
+import (
+	"net/http"
+
+	"axml/internal/core"
+)
+
+// Option configures a peer at construction. Options keep Open's signature
+// stable as the peer grows knobs — adding one never breaks existing
+// callers, unlike positional parameters.
+type Option func(*config)
+
+// config collects the option-set state applied by Open.
+type config struct {
+	durability  Durability
+	client      *http.Client
+	maxWire     int64
+	errorPolicy core.ErrorPolicy
+}
+
+// WithDurability backs the peer with a write-ahead journal and snapshots
+// in d.Dir (see Durability). A zero-valued Durability (empty Dir) leaves
+// the peer in-memory.
+func WithDurability(d Durability) Option {
+	return func(c *config) { c.durability = d }
+}
+
+// WithClient sets the HTTP client for the peer's own outbound requests
+// (anti-entropy hash probes, mirror re-syncs whose Mirror has no client
+// of its own). Nil means the shared DefaultClient.
+func WithClient(client *http.Client) Option {
+	return func(c *config) { c.client = client }
+}
+
+// WithLimits caps the request and response bodies this peer reads (its
+// incoming invocation envelopes in particular); 0 keeps the package-wide
+// MaxWireBytes.
+func WithLimits(maxWireBytes int64) Option {
+	return func(c *config) { c.maxWire = maxWireBytes }
+}
+
+// WithErrorPolicy selects how the peer's sweeps react to service errors;
+// the zero value is core.FailFast.
+func WithErrorPolicy(pol core.ErrorPolicy) Option {
+	return func(c *config) { c.errorPolicy = pol }
+}

@@ -2,6 +2,7 @@ package peer
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -86,6 +87,12 @@ type Peer struct {
 	// mirrorMu guards mirrors, the replicas registered for anti-entropy.
 	mirrorMu sync.Mutex
 	mirrors  []*Mirror
+
+	// client is the peer's outbound HTTP client (WithClient); nil means
+	// the shared DefaultClient. maxWire caps bodies this peer reads
+	// (WithLimits); 0 means the package-wide MaxWireBytes.
+	client  *http.Client
+	maxWire int64
 }
 
 // Stats counts a peer's activity.
@@ -100,13 +107,63 @@ type Stats struct {
 	Failures int
 }
 
-// New wraps a system as a peer and gates its remote services on the
-// peer's lock (see AttachGates). After New, access the system only
-// through the peer's methods.
+// New wraps a system as an in-memory peer and gates its remote services
+// on the peer's lock (see AttachGates). After New, access the system only
+// through the peer's methods. Equivalent to Open with no options; kept
+// for the common case and for compatibility.
 func New(name string, s *core.System) *Peer {
-	p := &Peer{Name: name, system: s}
-	p.AttachGates()
+	p, _, _ := Open(name, s) // cannot fail without durability
 	return p
+}
+
+// Open is the canonical constructor: it wraps a system as a peer, applies
+// the options, gates remote services on the peer's lock (AttachGates)
+// and — when WithDurability names a data directory — recovers any state a
+// previous incarnation persisted there before attaching the journal. The
+// system should be freshly built from its definition; after Open, access
+// it only through the peer's methods. Durable peers should run
+// AntiEntropy once live peers are reachable, to pull mirrored documents
+// that moved while this peer was down.
+func Open(name string, s *core.System, opts ...Option) (*Peer, RecoveryInfo, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var info RecoveryInfo
+	var st *store
+	if cfg.durability.Dir != "" {
+		var err error
+		st, info, err = openStore(name, s, cfg.durability)
+		if err != nil {
+			return nil, info, err
+		}
+	}
+	p := &Peer{
+		Name:        name,
+		system:      s,
+		ErrorPolicy: cfg.errorPolicy,
+		client:      cfg.client,
+		maxWire:     cfg.maxWire,
+	}
+	p.AttachGates()
+	if st != nil {
+		p.store = st
+		p.dirty = make(map[string]bool)
+		// The hook fires inside every mutating operation, which all hold
+		// p.mu, so dirty needs no lock of its own. It is installed after
+		// recovery on purpose: recovery's own Restore merges must not
+		// journal themselves back.
+		s.SetMutationHook(func(docName string) { p.dirty[docName] = true })
+	}
+	return p, info, nil
+}
+
+// wireLimit is the byte cap for bodies this peer reads.
+func (p *Peer) wireLimit() int64 {
+	if p.maxWire > 0 {
+		return p.maxWire
+	}
+	return MaxWireBytes
 }
 
 // AttachGates installs the peer's state lock as the network gate of every
@@ -178,7 +235,7 @@ func (p *Peer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxWireBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.wireLimit()))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -197,7 +254,7 @@ func (p *Peer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad envelope: %v", err), http.StatusBadRequest)
 		return
 	}
-	forest, err := p.Serve(env)
+	forest, err := p.Serve(r.Context(), env)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -214,8 +271,10 @@ func (p *Peer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 // Serve evaluates a local service for an incoming envelope: the service
 // runs against this peer's documents, with the caller's input and context
 // (the AXML Web service semantics — results may themselves contain calls,
-// i.e. intensional answers).
-func (p *Peer) Serve(env Envelope) (tree.Forest, error) {
+// i.e. intensional answers). The context is the caller's — over HTTP it
+// is the request context, so a disconnected client cancels the
+// evaluation it asked for.
+func (p *Peer) Serve(ctx context.Context, env Envelope) (tree.Forest, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	svc := p.system.Service(env.Service)
@@ -227,7 +286,7 @@ func (p *Peer) Serve(env Envelope) (tree.Forest, error) {
 		input = tree.NewLabel(tree.Input)
 	}
 	p.stats.Served++
-	return svc.Invoke(core.Binding{
+	return svc.Invoke(ctx, core.Binding{
 		Input:   input,
 		Context: env.Context,
 		Docs:    p.system.Docs(),
@@ -274,7 +333,11 @@ func (p *Peer) Sweep() (bool, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Sweeps++
-	res := p.system.Run(core.RunOptions{MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy})
+	// Parallelism stays 1: a gated RemoteService releases p.mu for its
+	// network round trip, a contract built on exactly one invocation being
+	// in flight at a time. Parallel firing within a peer sweep would have
+	// concurrent invocations unlocking/relocking the same gate.
+	res := p.system.Run(core.RunOptions{MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy, Parallelism: 1})
 	p.stats.Steps += res.Steps
 	p.stats.Failures += res.Failures
 	p.flushJournalLocked()
@@ -352,8 +415,11 @@ type RemoteService struct {
 // ServiceName implements core.Service.
 func (r *RemoteService) ServiceName() string { return r.Name }
 
-// Invoke implements core.Service over HTTP.
-func (r *RemoteService) Invoke(b core.Binding) (tree.Forest, error) {
+// Invoke implements core.Service over HTTP. The request carries the
+// caller's context, so cancelling it (engine shutdown, a Timeout
+// middleware's deadline, a dropped upstream client) tears down the
+// connection to a hung peer instead of waiting out the client timeout.
+func (r *RemoteService) Invoke(ctx context.Context, b core.Binding) (tree.Forest, error) {
 	client := r.Client
 	if client == nil {
 		client = DefaultClient
@@ -367,12 +433,23 @@ func (r *RemoteService) Invoke(b core.Binding) (tree.Forest, error) {
 	if err != nil {
 		return nil, err
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.URL+PathInvoke,
+		bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
+	}
+	req.Header.Set("Content-Type", "application/xml")
 	if r.Gate != nil {
 		r.Gate.Unlock()
 		defer r.Gate.Lock() // re-acquire before the engine resumes
 	}
-	resp, err := client.Post(r.URL+PathInvoke, "application/xml", bytes.NewReader(data))
+	resp, err := client.Do(req)
 	if err != nil {
+		if cause := ctx.Err(); cause != nil && !errors.Is(err, cause) {
+			// url.Error wraps the transport's view of the teardown; report
+			// the cancellation itself so callers can match it.
+			err = fmt.Errorf("%w (%v)", cause, err)
+		}
 		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
 	}
 	defer resp.Body.Close()

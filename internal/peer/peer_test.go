@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -172,7 +173,7 @@ func TestFetchDoc(t *testing.T) {
 
 func TestServeErrors(t *testing.T) {
 	p := newRatingsPeer(t)
-	if _, err := p.Serve(Envelope{Service: "nope"}); err == nil {
+	if _, err := p.Serve(context.Background(), Envelope{Service: "nope"}); err == nil {
 		t.Fatal("unknown service served")
 	}
 	server := httptest.NewServer(p.Handler())
@@ -261,7 +262,7 @@ type contextForwardingService struct {
 
 func (s *contextForwardingService) ServiceName() string { return s.name }
 
-func (s *contextForwardingService) Invoke(b core.Binding) (tree.Forest, error) {
+func (s *contextForwardingService) Invoke(ctx context.Context, b core.Binding) (tree.Forest, error) {
 	input := tree.NewLabel(tree.Input)
 	if b.Context != nil {
 		for _, c := range b.Context.Children {
@@ -270,7 +271,7 @@ func (s *contextForwardingService) Invoke(b core.Binding) (tree.Forest, error) {
 			}
 		}
 	}
-	return s.inner.Invoke(core.Binding{Input: input, Context: b.Context, Docs: b.Docs})
+	return s.inner.Invoke(ctx, core.Binding{Input: input, Context: b.Context, Docs: b.Docs})
 }
 
 func (p *Peer) hashableDoc(t *testing.T) *tree.Node {

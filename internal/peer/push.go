@@ -2,6 +2,7 @@ package peer
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -62,7 +63,7 @@ func (pb *Publisher) Flush(client *http.Client) (int, error) {
 	pb.mu.Unlock()
 	pushed := 0
 	for _, sub := range subs {
-		forest, err := pb.peer.Serve(sub.env)
+		forest, err := pb.peer.Serve(context.Background(), sub.env)
 		if err != nil {
 			return pushed, err
 		}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench-compare.sh — compare two saved `go test -bench` outputs.
+#
+# Usage: scripts/bench-compare.sh old.bench new.bench
+#
+# The inputs are raw `go test -bench` outputs (what `make bench` leaves
+# in bench.out), so they are directly benchstat-compatible: if benchstat
+# is installed it does the statistics; otherwise a plain paired ns/op
+# comparison is printed.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 old.bench new.bench" >&2
+    exit 2
+fi
+old=$1 new=$2
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "benchstat not found; falling back to a plain ns/op comparison" >&2
+awk '
+FNR == 1 { file++ }
+/^Benchmark/ && NF >= 4 {
+    if (file == 1) { a[$1] = $3 }
+    else           { b[$1] = $3; if (!($1 in seen)) { order[++n] = $1; seen[$1] = 1 } }
+}
+END {
+    printf "%-50s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (name in a) {
+            delta = (b[name] - a[name]) / a[name] * 100
+            printf "%-50s %15d %15d %+8.1f%%\n", name, a[name], b[name], delta
+        } else {
+            printf "%-50s %15s %15d %9s\n", name, "-", b[name], "new"
+        }
+    }
+}' "$old" "$new"

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench-json.sh — convert `go test -bench` output on stdin into the
+# BENCH_parallel.json trajectory format: one record per benchmark with
+# its ns/op, plus the speedup of every parallelism level relative to
+# parallelism-1 of the same workload.
+#
+# Usage: go test -bench BenchmarkRunParallel ... | scripts/bench-json.sh
+set -eu
+
+awk '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/^BenchmarkRunParallel\//, "", name)
+    split(name, part, "/")             # workload / "parallelism-N[-GOMAXPROCS]"
+    wl = part[1]
+    split(part[2], lvl, "-")
+    par = lvl[2]
+    ns[wl, par] = $3
+    if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+    pars[wl] = pars[wl] " " par
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkRunParallel\",\n"
+    printf "  \"date\": \"%s\",\n", strftime("%Y-%m-%d")
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"workloads\": {\n"
+    for (i = 1; i <= n; i++) {
+        wl = order[i]
+        printf "    \"%s\": {\n", wl
+        m = split(substr(pars[wl], 2), p, " ")
+        for (j = 1; j <= m; j++) {
+            par = p[j]
+            speedup = ns[wl, 1] / ns[wl, par]
+            printf "      \"parallelism-%s\": {\"ns_per_op\": %d, \"speedup_vs_seq\": %.2f}%s\n", \
+                par, ns[wl, par], speedup, (j < m ? "," : "")
+        }
+        printf "    }%s\n", (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+}'
