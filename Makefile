@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-cmd race fmt fuzz-smoke bench bench-compare verify
+.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke bench bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ vet:
 # their *_test.go analysis modes; force them on explicitly.
 vet-cmd:
 	$(GO) vet -tests=true ./cmd/...
+
+# Library code must log through the slog.Logger it is handed
+# (internal/obs), never a bare log.Printf/fmt.Println the embedder
+# cannot redirect.
+vet-obs:
+	scripts/lint-obs.sh
 
 # gofmt cleanliness: fail listing the files that need formatting.
 fmt:
@@ -50,6 +56,6 @@ bench-compare:
 	scripts/bench-compare.sh $(OLD) $(NEW)
 
 # Tier-1 verify: build + tests, extended with gofmt, go vet (test files
-# of the test-less cmd packages included), the race detector and the
-# fuzz smoke run.
-verify: build fmt vet vet-cmd test race fuzz-smoke
+# of the test-less cmd packages included), the logging lint, the race
+# detector and the fuzz smoke run.
+verify: build fmt vet vet-cmd vet-obs test race fuzz-smoke

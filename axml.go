@@ -140,6 +140,9 @@ type (
 	RunOptions = core.RunOptions
 	// RunResult reports a rewriting run.
 	RunResult = core.RunResult
+	// RunStats is the observability snapshot inside every RunResult:
+	// call counts, evaluation/wait latency histograms, lock waits.
+	RunStats = core.RunStats
 	// ErrorPolicy selects fail-fast or degraded handling of service
 	// errors during a run.
 	ErrorPolicy = core.ErrorPolicy

@@ -19,18 +19,27 @@
 // any state a previous incarnation persisted there is recovered — so the
 // process survives kill -9 and rejoins its fleet at the point it died,
 // re-deriving anything lost in the torn tail by re-sweeping.
+//
+// Observability: -debug-addr starts a second listener serving
+// expvar-compatible metrics at /debug/vars (the peer's counters under
+// the "axml" key: engine.*, mw.*, peer.*, journal.*) and the live pprof
+// profiles under /debug/pprof/. -trace-out streams one JSON span per
+// line (sweeps, calls, merges, syncs, fsyncs — summarize with
+// scripts/trace-summarize.sh); -trace-sample keeps every n-th call span
+// when full call traces are too hot. -log-level picks the slog level of
+// the peer's structured logs on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 	"axml/internal/peer"
 	"axml/internal/syntax"
 )
@@ -48,9 +57,24 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead journal and snapshots (empty = in-memory peer)")
 	snapshotEvery := flag.Int("snapshot-every", peer.DefaultSnapshotEvery, "journal records between snapshot compactions (negative disables)")
 	fsync := flag.Int("fsync", 1, "fsync the journal every n appended records (1 = every record; larger n batches, risking at most n-1 records that a re-sweep re-derives)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this extra address (empty = off)")
+	traceOut := flag.String("trace-out", "", "append JSON trace spans, one per line, to this file (empty = off)")
+	traceSample := flag.Int("trace-sample", 1, "keep one call span in every n (sweep/merge spans are never sampled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	var remotes remoteFlags
 	flag.Var(&remotes, "remote", "remote service binding NAME=URL (repeatable)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axml-peer:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	if *systemFile == "" {
 		fmt.Fprintln(os.Stderr, "axml-peer: -system is required")
@@ -58,20 +82,34 @@ func main() {
 	}
 	data, err := os.ReadFile(*systemFile)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Build without the final validation: remote bindings complete the
 	// service set first.
 	parsed, err := syntax.ParseSystem(string(data))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+
+	metrics := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		tracer.SetSample(*traceSample)
+	}
+
 	sys := core.NewSystem()
 	harden := core.HardenOptions{
 		Attempts:        *retries,
 		BaseDelay:       *retryBase,
 		BreakerOpensAt:  *breakerFailures,
 		BreakerCooldown: *breakerCooldown,
+		Metrics:         metrics,
 	}
 	// The per-attempt deadline lives in the HTTP client, not in a
 	// core.Timeout layer: peer.AttachGates will gate these remotes on the
@@ -85,21 +123,21 @@ func main() {
 	for _, r := range remotes {
 		svc := core.Harden(&peer.RemoteService{Name: r.name, URL: r.url, Client: client}, harden)
 		if err := sys.AddService(svc); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	for _, q := range parsed.Funcs {
 		if err := sys.AddQuery(q); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	for _, d := range parsed.Docs {
 		if err := sys.AddDocument(d); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if err := sys.Validate(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	policy := core.FailFast
 	if *degrade {
@@ -113,17 +151,33 @@ func main() {
 		}),
 		peer.WithClient(client),
 		peer.WithErrorPolicy(policy),
+		peer.WithObservability(metrics),
+		peer.WithTracer(tracer),
+		peer.WithLogger(logger),
 	)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *dataDir != "" {
-		log.Printf("axml-peer %s durable in %s (snapshot seq %d, %d journal records replayed, torn tail: %v)",
-			*name, *dataDir, rec.SnapshotSeq, rec.Replayed, rec.Torn)
+		logger.Info("durable",
+			"peer", *name, "dir", *dataDir, "snapshot_seq", rec.SnapshotSeq,
+			"replayed", rec.Replayed, "torn", rec.Torn)
 	}
-	log.Printf("axml-peer %s serving %s on %s (docs: %v, services: %v)",
-		*name, *systemFile, *listen, sys.DocNames(), sys.FuncNames())
-	log.Fatal(http.ListenAndServe(*listen, p.Handler()))
+	if *debugAddr != "" {
+		// The debug server gets its own listener on purpose: pprof and
+		// the metric dump expose internals that do not belong on the
+		// peer's public port.
+		go func() {
+			logger.Info("debug server", "peer", *name, "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(metrics)); err != nil {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
+	logger.Info("serving",
+		"peer", *name, "system", *systemFile, "listen", *listen,
+		"docs", fmt.Sprint(sys.DocNames()), "services", fmt.Sprint(sys.FuncNames()))
+	fatal(http.ListenAndServe(*listen, p.Handler()))
 }
 
 type remoteBinding struct{ name, url string }

@@ -32,6 +32,8 @@ import (
 func main() {
 	maxSteps := flag.Int("max-steps", 100000, "rewriting step budget")
 	parallel := flag.Int("parallel", 0, "concurrent invocations per run (0 = GOMAXPROCS, 1 = sequential)")
+	traceOut := flag.String("trace-out", "", "append the run's JSON trace spans, one per line, to this file")
+	stats := flag.Bool("stats", false, "print run statistics (call counts, latency quantiles, lock waits)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -39,7 +41,17 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	err := cli.Run(os.Stdout, cli.Options{MaxSteps: *maxSteps, Parallelism: *parallel}, args[0], args[1:]...)
+	opts := cli.Options{MaxSteps: *maxSteps, Parallelism: *parallel, Stats: *stats}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axml:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Trace = f
+	}
+	err := cli.Run(os.Stdout, opts, args[0], args[1:]...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "axml:", err)
 		os.Exit(1)

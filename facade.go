@@ -3,6 +3,7 @@ package axml
 import (
 	"axml/internal/datalog"
 	"axml/internal/faults"
+	"axml/internal/obs"
 	"axml/internal/peer"
 	"axml/internal/tree"
 	"axml/internal/turing"
@@ -63,6 +64,12 @@ var (
 	WithLimits = peer.WithLimits
 	// WithErrorPolicy selects how a peer's sweeps react to errors.
 	WithErrorPolicy = peer.WithErrorPolicy
+	// WithObservability attaches a metrics registry to a peer.
+	WithObservability = peer.WithObservability
+	// WithTracer attaches a span tracer to a peer.
+	WithTracer = peer.WithTracer
+	// WithLogger routes a peer's structured logs.
+	WithLogger = peer.WithLogger
 	// NewPublisher wraps a peer for push mode.
 	NewPublisher = peer.NewPublisher
 	// NewSubscriber wraps a peer to receive pushes.
@@ -76,6 +83,45 @@ var (
 	MarshalTree = peer.MarshalTree
 	// UnmarshalTree parses the XML wire format.
 	UnmarshalTree = peer.UnmarshalTree
+)
+
+// Observability (see internal/obs): stdlib-only metrics, span tracing
+// and structured logging, threaded through the engine (RunOptions.Metrics
+// and .Tracer), the middleware stack, peers (WithObservability) and the
+// journal.
+type (
+	// Registry is a set of named counters, gauges and histograms;
+	// expose it with DebugMux or expvar.Publish.
+	Registry = obs.Registry
+	// Counter is a monotone event count.
+	Counter = obs.Counter
+	// Gauge is a last-value metric.
+	Gauge = obs.Gauge
+	// Histogram is a lock-free power-of-two-bucket latency histogram.
+	Histogram = obs.Histogram
+	// HistSnapshot is a histogram's point-in-time summary (count, sum,
+	// min/max, approximate quantiles).
+	HistSnapshot = obs.HistSnapshot
+	// Tracer streams trace spans as JSON lines.
+	Tracer = obs.Tracer
+	// Span is one traced event (sweep, call, merge, sync, push, fsync,
+	// snapshot).
+	Span = obs.Span
+)
+
+// Observability entry points.
+var (
+	// NewRegistry returns an empty metrics registry.
+	NewRegistry = obs.NewRegistry
+	// NewTracer wraps a writer as a JSONL span tracer.
+	NewTracer = obs.NewTracer
+	// DebugMux serves a registry at /debug/vars plus live pprof under
+	// /debug/pprof/ (mount on a dedicated listener).
+	DebugMux = obs.DebugMux
+	// ParseLogLevel maps "debug"/"info"/"warn"/"error" to a slog.Level.
+	ParseLogLevel = obs.ParseLevel
+	// NewLogger builds a text-handler slog.Logger at a level.
+	NewLogger = obs.NewLogger
 )
 
 // Fault injection (testing the fault-tolerance layer without real flaky

@@ -13,6 +13,7 @@ import (
 	"axml/internal/core"
 	"axml/internal/datalog"
 	"axml/internal/lazy"
+	"axml/internal/obs"
 	"axml/internal/peer"
 	"axml/internal/regular"
 	"axml/internal/subsume"
@@ -26,6 +27,13 @@ type Options struct {
 	// Parallelism is the run's worker count (0 = GOMAXPROCS, 1 =
 	// deterministic sequential order).
 	Parallelism int
+	// Trace, when non-nil, receives the run's JSON trace spans, one per
+	// line (the -trace-out flag; summarize with
+	// scripts/trace-summarize.sh).
+	Trace io.Writer
+	// Stats prints the run's RunResult.Stats (call counts, latency
+	// quantiles, lock waits) as # comment lines after a run.
+	Stats bool
 	// ReadFile loads system files; nil means os.ReadFile. Tests inject
 	// an in-memory loader.
 	ReadFile func(string) ([]byte, error)
@@ -76,14 +84,28 @@ func Run(out io.Writer, opts Options, cmd string, args ...string) error {
 		if err != nil {
 			return err
 		}
-		res := s.Run(core.RunOptions{MaxSteps: opts.MaxSteps, Parallelism: opts.Parallelism})
+		var tracer *obs.Tracer
+		if opts.Trace != nil {
+			tracer = obs.NewTracer(opts.Trace)
+		}
+		res := s.Run(core.RunOptions{
+			MaxSteps: opts.MaxSteps, Parallelism: opts.Parallelism, Tracer: tracer,
+		})
 		if res.Err != nil {
 			return res.Err
 		}
 		fmt.Fprintf(out, "# steps=%d attempts=%d sweeps=%d terminated=%v\n",
 			res.Steps, res.Attempts, res.Sweeps, res.Terminated)
+		if opts.Stats {
+			printStats(out, res.Stats)
+		}
 		for _, name := range s.DocNames() {
 			fmt.Fprintf(out, "%s/%s\n", name, s.Document(name).Root)
+		}
+		if tracer != nil {
+			if err := tracer.Err(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
 		}
 		return nil
 	case "snapshot", "query", "lazy":
@@ -217,6 +239,25 @@ func Run(out io.Writer, opts Options, cmd string, args ...string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printStats renders a run's RunStats as # comment lines, matching the
+// run subcommand's existing header style so pipelines that skip comments
+// skip these too.
+func printStats(out io.Writer, st core.RunStats) {
+	fmt.Fprintf(out, "# stats fired=%d sterile=%d reader_waits=%d writer_waits=%d\n",
+		st.CallsFired, st.CallsSterile, st.ReaderWaits, st.WriterWaits)
+	printHist(out, "eval_ns", st.Eval)
+	printHist(out, "slot_wait_ns", st.SlotWait)
+	printHist(out, "merge_wait_ns", st.MergeWait)
+}
+
+func printHist(out io.Writer, name string, h obs.HistSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(out, "# %s count=%d mean=%d p50=%d p90=%d p99=%d max=%d\n",
+		name, h.Count, h.Sum/h.Count, h.P50, h.P90, h.P99, h.Max)
 }
 
 // parseGoal reads a goal atom like tc(a,Y) — uppercase arguments are

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
+	"axml/internal/obs"
 	"axml/internal/tree"
 )
 
@@ -31,7 +33,17 @@ import (
 //
 // Engine-local bookkeeping (the result counters, the seen map, the stop
 // flag) lives under a separate mutex, always acquired after the system
-// lock, never held across a service invocation.
+// lock, never held across a service invocation. RunResult is only ever
+// copied out through result(), under that mutex, with the Errors map
+// cloned — so a caller can hand the returned value to another goroutine
+// without aliasing engine state.
+//
+// Observability: the engine always collects its run-local stats (a few
+// atomic adds and clock reads per firing) into RunResult.Stats, emits
+// spans to RunOptions.Tracer and folds the run's totals into
+// RunOptions.Metrics when either is set. None of it influences
+// scheduling; removing the registry and tracer yields the same firing
+// sequence.
 type engine struct {
 	s              *System
 	opts           RunOptions
@@ -39,14 +51,26 @@ type engine struct {
 	workers        int
 	maxSteps       int
 	maxErrorSweeps int
+	tracer         *obs.Tracer
+
+	// Run-local latency histograms, always collected (RunResult.Stats).
+	evalH      *obs.Histogram
+	slotWaitH  *obs.Histogram
+	mergeWaitH *obs.Histogram
+	// Version-funnel contention baseline at run start (delta reporting).
+	lockR0, lockW0 uint64
 
 	mu              sync.Mutex // guards the fields below
 	res             RunResult
+	sterile         int // calls skipped by the version gate
 	seen            map[*tree.Node]uint64
 	stop            bool // budget exhausted or fail-fast: drain, then return
 	cancelSweep     context.CancelFunc
 	changedInSweep  bool
 	failuresInSweep int
+	firedInSweep    int
+	sterileInSweep  int
+	stepsInSweep    int
 }
 
 func newEngine(s *System, opts RunOptions) *engine {
@@ -69,6 +93,7 @@ func newEngine(s *System, opts RunOptions) *engine {
 	if workers < 1 {
 		workers = 1
 	}
+	rw, ww := s.engineMu.contention()
 	return &engine{
 		s:              s,
 		opts:           opts,
@@ -76,6 +101,12 @@ func newEngine(s *System, opts RunOptions) *engine {
 		workers:        workers,
 		maxSteps:       maxSteps,
 		maxErrorSweeps: maxErrorSweeps,
+		tracer:         opts.Tracer,
+		evalH:          &obs.Histogram{},
+		slotWaitH:      &obs.Histogram{},
+		mergeWaitH:     &obs.Histogram{},
+		lockR0:         rw,
+		lockW0:         ww,
 		// seen gates provably-sterile re-attempts: a call attempted when
 		// the documents its service reads had version v returns the same
 		// answer as long as those versions stay v (services are
@@ -91,14 +122,22 @@ func (e *engine) run(ctx context.Context) RunResult {
 	fruitless := 0 // consecutive no-progress sweeps that saw errors
 	for {
 		if ctx.Err() != nil {
+			e.mu.Lock()
 			if e.res.Err == nil {
 				e.res.Err = ctx.Err()
 			}
-			return e.res
+			e.mu.Unlock()
+			return e.result()
 		}
+		e.mu.Lock()
 		e.res.Sweeps++
+		sweepNo := e.res.Sweeps
 		e.changedInSweep = false
 		e.failuresInSweep = 0
+		e.firedInSweep = 0
+		e.sterileInSweep = 0
+		e.stepsInSweep = 0
+		e.mu.Unlock()
 		// Snapshot the calls existing at sweep start: calls created by
 		// answers during this sweep wait for the next one. This is what
 		// makes every execution fair — no branch can starve another by
@@ -108,6 +147,9 @@ func (e *engine) run(ctx context.Context) RunResult {
 		e.s.engineMu.RUnlock()
 		purgeSeen(e.seen, pending)
 		e.sched.Order(pending)
+
+		sweepTS := e.tracer.Now()
+		sweepStart := time.Now()
 
 		// Each sweep gets a cancellable sub-context so a budget stop or a
 		// fail-fast error aborts the in-flight evaluations instead of
@@ -124,7 +166,7 @@ func (e *engine) run(ctx context.Context) RunResult {
 				if !e.admit(c) {
 					continue
 				}
-				e.fire(sweepCtx, c, nil)
+				e.fire(sweepCtx, c, nil, 0)
 			}
 		} else {
 			// sem caps concurrent EVALUATIONS, not whole firings: a worker
@@ -142,47 +184,132 @@ func (e *engine) run(ctx context.Context) RunResult {
 				if !e.admit(c) {
 					continue
 				}
+				slotStart := time.Now()
 				sem <- struct{}{}
+				slotWait := time.Since(slotStart)
+				e.slotWaitH.Observe(int64(slotWait))
 				wg.Add(1)
-				go func(c Call) {
+				go func(c Call, slotWait time.Duration) {
 					defer wg.Done()
 					var once sync.Once
 					release := func() { once.Do(func() { <-sem }) }
 					defer release()
-					e.fire(sweepCtx, c, release)
-				}(c)
+					e.fire(sweepCtx, c, release, slotWait)
+				}(c, slotWait)
 			}
 			wg.Wait()
 		}
 		cancel()
 
-		if e.stopped() {
-			return e.res
+		e.mu.Lock()
+		changed := e.changedInSweep
+		failures := e.failuresInSweep
+		stopped := e.stop
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Span{
+				Kind:  "sweep",
+				Sweep: sweepNo,
+				TSUs:  sweepTS,
+				DurUs: int64(time.Since(sweepStart) / time.Microsecond),
+				Attrs: map[string]int64{
+					"pending":  int64(len(pending)),
+					"fired":    int64(e.firedInSweep),
+					"sterile":  int64(e.sterileInSweep),
+					"steps":    int64(e.stepsInSweep),
+					"failures": int64(failures),
+				},
+			})
+		}
+		sweeps := e.res.Sweeps
+		e.mu.Unlock()
+
+		if stopped {
+			return e.result()
 		}
 		if ctx.Err() != nil {
+			e.mu.Lock()
 			if e.res.Err == nil {
 				e.res.Err = ctx.Err()
 			}
-			return e.res
+			e.mu.Unlock()
+			return e.result()
 		}
-		if !e.changedInSweep && e.failuresInSweep == 0 {
+		if !changed && failures == 0 {
+			e.mu.Lock()
 			e.res.Terminated = true
-			return e.res
+			e.mu.Unlock()
+			return e.result()
 		}
-		if !e.changedInSweep {
+		if !changed {
 			// Errors but no progress: retry the quarantined calls on
 			// another sweep, but give up after maxErrorSweeps of these —
 			// the failures look permanent.
 			fruitless++
 			if fruitless >= e.maxErrorSweeps {
-				return e.res
+				return e.result()
 			}
 		} else {
 			fruitless = 0
 		}
-		if e.opts.MaxSweeps > 0 && e.res.Sweeps >= e.opts.MaxSweeps {
-			return e.res
+		if e.opts.MaxSweeps > 0 && sweeps >= e.opts.MaxSweeps {
+			return e.result()
 		}
+	}
+}
+
+// result snapshots the run outcome under the engine mutex: the counters
+// are copied, the Errors map is cloned (never aliased to engine state)
+// and the Stats histograms and funnel-contention deltas are attached.
+// Every return path of run funnels through here — the guard that makes
+// handing RunResult across goroutines safe even while late workers from
+// a stopped sweep are still draining through recordFailure.
+func (e *engine) result() RunResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := e.res
+	if res.Errors != nil {
+		errs := make(map[string]int, len(res.Errors))
+		for name, n := range res.Errors {
+			errs[name] = n
+		}
+		res.Errors = errs
+	}
+	rw, ww := e.s.engineMu.contention()
+	res.Stats = RunStats{
+		CallsFired:   res.Attempts,
+		CallsSterile: e.sterile,
+		Eval:         e.evalH.Snapshot(),
+		SlotWait:     e.slotWaitH.Snapshot(),
+		MergeWait:    e.mergeWaitH.Snapshot(),
+		ReaderWaits:  rw - e.lockR0,
+		WriterWaits:  ww - e.lockW0,
+	}
+	e.publishLocked(res)
+	return res
+}
+
+// publishLocked folds the finished run into the optional registry. The
+// registry accumulates across runs (and across engines sharing it), so
+// counters add deltas and histograms merge the run-local snapshots.
+func (e *engine) publishLocked(res RunResult) {
+	reg := e.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine.runs").Inc()
+	reg.Counter("engine.sweeps").Add(int64(res.Sweeps))
+	reg.Counter("engine.steps").Add(int64(res.Steps))
+	reg.Counter("engine.calls.fired").Add(int64(res.Attempts))
+	reg.Counter("engine.calls.sterile").Add(int64(res.Stats.CallsSterile))
+	reg.Counter("engine.calls.failed").Add(int64(res.Failures))
+	reg.Counter("engine.lock.reader_waits").Add(int64(res.Stats.ReaderWaits))
+	reg.Counter("engine.lock.writer_waits").Add(int64(res.Stats.WriterWaits))
+	reg.Histogram("engine.eval_ns").Merge(res.Stats.Eval)
+	reg.Histogram("engine.slot_wait_ns").Merge(res.Stats.SlotWait)
+	reg.Histogram("engine.merge_wait_ns").Merge(res.Stats.MergeWait)
+	reg.Gauge("engine.parallelism").Set(int64(e.workers))
+	if res.Terminated {
+		reg.Counter("engine.runs.terminated").Inc()
 	}
 }
 
@@ -204,6 +331,8 @@ func (e *engine) admit(c Call) bool {
 		return false
 	}
 	if last, ok := e.seen[c.Node]; ok && last == rv {
+		e.sterile++
+		e.sterileInSweep++
 		e.mu.Unlock()
 		return false
 	}
@@ -218,6 +347,7 @@ func (e *engine) admit(c Call) bool {
 	e.mu.Lock()
 	e.seen[c.Node] = rv
 	e.res.Attempts++
+	e.firedInSweep++
 	e.mu.Unlock()
 	return true
 }
@@ -227,20 +357,42 @@ func (e *engine) admit(c Call) bool {
 // version funnel). release, when non-nil, is called as soon as the
 // evaluation is over — the expensive, capacity-limited phase — so the
 // pool can start the next evaluation while this result waits its turn
-// at the funnel.
-func (e *engine) fire(ctx context.Context, c Call, release func()) {
+// at the funnel. slotWait is how long the call queued for its pool slot
+// (zero on the sequential path), reported on the call span.
+func (e *engine) fire(ctx context.Context, c Call, release func(), slotWait time.Duration) {
 	s := e.s
+	callTS := e.tracer.Now()
+	evalStart := time.Now()
 	s.engineMu.RLock()
 	forest, err := s.evaluate(ctx, c)
 	s.engineMu.RUnlock()
+	evalDur := time.Since(evalStart)
+	e.evalH.Observe(int64(evalDur))
 	if release != nil {
 		release()
+	}
+	if e.tracer != nil {
+		span := obs.Span{
+			Kind:  "call",
+			Name:  c.Node.Name,
+			TSUs:  callTS,
+			DurUs: int64(evalDur / time.Microsecond),
+			Attrs: map[string]int64{"wait_us": int64(slotWait / time.Microsecond)},
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		e.tracer.Emit(span)
 	}
 	if err != nil {
 		e.recordFailure(ctx, c, err)
 		return
 	}
+	mergeTS := e.tracer.Now()
+	mergeStart := time.Now()
 	s.engineMu.Lock()
+	mergeWait := time.Since(mergeStart)
+	e.mergeWaitH.Observe(int64(mergeWait))
 	defer s.engineMu.Unlock()
 	e.mu.Lock()
 	if e.stop {
@@ -259,11 +411,24 @@ func (e *engine) fire(ctx context.Context, c Call, release func()) {
 	e.mu.Lock()
 	e.res.Steps++
 	e.changedInSweep = true
+	e.stepsInSweep++
 	step := e.res.Steps
 	if step >= e.maxSteps {
 		e.stopLocked()
 	}
 	e.mu.Unlock()
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Span{
+			Kind:  "merge",
+			Name:  c.Node.Name,
+			TSUs:  mergeTS,
+			DurUs: int64(time.Since(mergeStart) / time.Microsecond),
+			Attrs: map[string]int64{
+				"wait_us": int64(mergeWait / time.Microsecond),
+				"step":    int64(step),
+			},
+		})
+	}
 	if e.opts.MaxNodes > 0 && s.Size() > e.opts.MaxNodes {
 		e.mu.Lock()
 		e.stopLocked()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"axml/internal/obs"
 	"axml/internal/tree"
 )
 
@@ -80,6 +81,12 @@ type Retry struct {
 	Rng *rand.Rand
 	// Sleep replaces time.Sleep, for tests.
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, mirrors the middleware's activity into
+	// per-service counters: mw.retry.attempts.<svc> (every attempt),
+	// mw.retry.retries.<svc> (re-attempts beyond the first) and
+	// mw.retry.recovered.<svc> (invocations that failed then succeeded
+	// within budget).
+	Metrics *obs.Registry
 
 	mu        sync.Mutex
 	retries   int
@@ -133,6 +140,9 @@ func (r *Retry) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 			}
 			break
 		}
+		if r.Metrics != nil {
+			r.Metrics.Counter("mw.retry.attempts." + r.ServiceName()).Inc()
+		}
 		forest, err := r.Service.Invoke(ctx, b)
 		made = i + 1
 		if err == nil {
@@ -140,6 +150,9 @@ func (r *Retry) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 				r.mu.Lock()
 				r.recovered++
 				r.mu.Unlock()
+				if r.Metrics != nil {
+					r.Metrics.Counter("mw.retry.recovered." + r.ServiceName()).Inc()
+				}
 			}
 			return forest, nil
 		}
@@ -178,6 +191,9 @@ func (r *Retry) backoff(ctx context.Context, i int) error {
 	jitter := r.Jitter
 	if jitter == 0 {
 		jitter = DefaultRetryJitter
+	}
+	if r.Metrics != nil {
+		r.Metrics.Counter("mw.retry.retries." + r.Service.ServiceName()).Inc()
 	}
 	r.mu.Lock()
 	r.retries++
@@ -230,6 +246,15 @@ type Timeout struct {
 	Service Service
 	// Limit is the per-invocation deadline; 0 means DefaultTimeout.
 	Limit time.Duration
+	// Metrics, when non-nil, counts expiries in mw.timeout.hits.<svc>.
+	Metrics *obs.Registry
+}
+
+// hit counts one expiry against the registry.
+func (t *Timeout) hit() {
+	if t.Metrics != nil {
+		t.Metrics.Counter("mw.timeout.hits." + t.Service.ServiceName()).Inc()
+	}
 }
 
 // ServiceName implements Service.
@@ -265,6 +290,7 @@ func (t *Timeout) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 			attemptCtx.Err() != nil {
 			// A ctx-aware wrapped service surfacing our own deadline:
 			// normalize to the timeout error callers match on.
+			t.hit()
 			return nil, fmt.Errorf("core: service %q: %w after %v",
 				t.Service.ServiceName(), ErrTimeout, limit)
 		}
@@ -273,6 +299,7 @@ func (t *Timeout) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err // the caller gave up first; not a timeout
 		}
+		t.hit()
 		return nil, fmt.Errorf("core: service %q: %w after %v",
 			t.Service.ServiceName(), ErrTimeout, limit)
 	}
@@ -297,6 +324,11 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Now replaces time.Now, for tests.
 	Now func() time.Time
+	// Metrics, when non-nil, mirrors the breaker into the registry:
+	// mw.breaker.state.<svc> is a gauge holding the last transition
+	// (0 closed, 1 half-open probing, 2 open), mw.breaker.opens.<svc>
+	// and mw.breaker.short_circuits.<svc> count events.
+	Metrics *obs.Registry
 
 	mu            sync.Mutex
 	open          bool
@@ -357,6 +389,20 @@ func (br *Breaker) cooldown() time.Duration {
 	return br.Cooldown
 }
 
+// Gauge codes for mw.breaker.state.<svc>.
+const (
+	BreakerClosed   = 0
+	BreakerHalfOpen = 1
+	BreakerOpen     = 2
+)
+
+// setState records the last transition on the state gauge.
+func (br *Breaker) setState(code int64) {
+	if br.Metrics != nil {
+		br.Metrics.Gauge("mw.breaker.state." + br.Service.ServiceName()).Set(code)
+	}
+}
+
 // Invoke implements Service with circuit breaking.
 func (br *Breaker) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 	br.mu.Lock()
@@ -364,9 +410,13 @@ func (br *Breaker) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 		if br.probing || br.now().Sub(br.openedAt) < br.cooldown() {
 			br.shortCircuits++
 			br.mu.Unlock()
+			if br.Metrics != nil {
+				br.Metrics.Counter("mw.breaker.short_circuits." + br.Service.ServiceName()).Inc()
+			}
 			return nil, ErrBreakerOpen
 		}
 		br.probing = true // half-open: admit this call as the single probe
+		br.setState(BreakerHalfOpen)
 	}
 	br.mu.Unlock()
 
@@ -392,8 +442,15 @@ func (br *Breaker) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 			br.probing = false
 			br.openedAt = br.now()
 			br.opens++
+			br.setState(BreakerOpen)
+			if br.Metrics != nil {
+				br.Metrics.Counter("mw.breaker.opens." + br.Service.ServiceName()).Inc()
+			}
 		}
 		return nil, err
+	}
+	if br.open || br.consecutive > 0 {
+		br.setState(BreakerClosed)
 	}
 	br.open = false
 	br.probing = false
@@ -420,6 +477,9 @@ type HardenOptions struct {
 	BreakerOpensAt int
 	// BreakerCooldown is the enabled breaker's open period.
 	BreakerCooldown time.Duration
+	// Metrics, when non-nil, is threaded to every enabled layer (see the
+	// Metrics field on Retry, Timeout and Breaker for the metric names).
+	Metrics *obs.Registry
 }
 
 // Harden wraps svc in the conventional fault-tolerance stack
@@ -428,7 +488,7 @@ type HardenOptions struct {
 func Harden(svc Service, o HardenOptions) Service {
 	out := svc
 	if o.Timeout > 0 {
-		out = &Timeout{Service: out, Limit: o.Timeout}
+		out = &Timeout{Service: out, Limit: o.Timeout, Metrics: o.Metrics}
 	}
 	if o.Attempts > 1 {
 		out = &Retry{
@@ -438,10 +498,12 @@ func Harden(svc Service, o HardenOptions) Service {
 			MaxDelay:  o.MaxDelay,
 			Jitter:    o.Jitter,
 			Rng:       o.Rng,
+			Metrics:   o.Metrics,
 		}
 	}
 	if o.BreakerOpensAt > 0 {
-		out = &Breaker{Service: out, OpensAt: o.BreakerOpensAt, Cooldown: o.BreakerCooldown}
+		out = &Breaker{Service: out, OpensAt: o.BreakerOpensAt, Cooldown: o.BreakerCooldown,
+			Metrics: o.Metrics}
 	}
 	return out
 }

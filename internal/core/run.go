@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"axml/internal/obs"
 	"axml/internal/subsume"
 	"axml/internal/tree"
 )
@@ -333,6 +334,17 @@ type RunOptions struct {
 	MaxErrorSweeps int
 	// OnStep, when non-nil, observes every strictly-growing invocation.
 	OnStep func(step int, c Call)
+	// Metrics, when non-nil, receives the run's counters and latency
+	// histograms under the engine.* names (engine.sweeps,
+	// engine.calls.fired, engine.eval_ns, engine.merge_wait_ns, ...).
+	// The run-local RunResult.Stats snapshot is collected regardless;
+	// Metrics additionally accumulates across runs — the process-wide
+	// view /debug/vars serves.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per sweep, per fired call
+	// and per merge (see obs.Span for the schema); nil disables tracing
+	// with no hot-path cost beyond a nil check.
+	Tracer *obs.Tracer
 }
 
 // DefaultMaxSteps bounds runs whose options leave MaxSteps at zero.
@@ -365,6 +377,37 @@ type RunResult struct {
 	// terminate at the fixpoint with Err non-nil under Degrade when
 	// every failure was transient.
 	Err error
+	// Stats is the run's measurement snapshot: where the workers spent
+	// their time and how the version funnel behaved. Collected on every
+	// run (the collection is a handful of atomic adds per firing), so
+	// perf regressions are diagnosable from any RunResult without
+	// re-running under a profiler.
+	Stats RunStats
+}
+
+// RunStats is the per-run observability snapshot in RunResult.
+type RunStats struct {
+	// CallsFired counts evaluations actually dispatched (== Attempts).
+	CallsFired int
+	// CallsSterile counts calls the version gate skipped: their read set
+	// had not moved since their last attempt, so re-firing provably
+	// returns nothing new.
+	CallsSterile int
+	// Eval is the service-evaluation latency histogram (ns).
+	Eval obs.HistSnapshot
+	// SlotWait is the time each admitted call waited for a worker-pool
+	// slot (ns); all zeros when Parallelism <= 1.
+	SlotWait obs.HistSnapshot
+	// MergeWait is the time each successful evaluation waited at the
+	// version funnel before its merge ran (ns).
+	MergeWait obs.HistSnapshot
+	// ReaderWaits and WriterWaits are the version-funnel contention
+	// deltas over the run: evaluations that waited out a merge, and
+	// merges that queued behind evaluations (see System.LockContention).
+	// Under concurrent runs on one system the deltas include the other
+	// runs' traffic — contention is a property of the shared funnel.
+	ReaderWaits uint64
+	WriterWaits uint64
 }
 
 // Run executes a fair rewriting sequence in place until termination or

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // rwLock is the reader-preference read/write lock behind the version
 // funnel. It differs from sync.RWMutex in exactly one way: RLock waits
@@ -29,6 +32,15 @@ type rwLock struct {
 	cond    *sync.Cond // lazily bound to mu; access only with mu held
 	readers int
 	writer  bool
+
+	// Contention counters: acquisitions that had to wait. Always on —
+	// they cost one uncontended atomic add on the slow path only — and
+	// read by the engine's RunResult.Stats and the obs registry. rWaits
+	// counts RLocks that found a writer active; wWaits counts Locks that
+	// found readers or a writer in place. Monotone over the lock's life;
+	// consumers take deltas.
+	rWaits atomic.Uint64
+	wWaits atomic.Uint64
 }
 
 // c returns the condition variable, binding it on first use. Callers
@@ -46,6 +58,9 @@ func (l *rwLock) c() *sync.Cond {
 // the point (see the type comment).
 func (l *rwLock) RLock() {
 	l.mu.Lock()
+	if l.writer {
+		l.rWaits.Add(1)
+	}
 	for l.writer {
 		l.c().Wait()
 	}
@@ -71,11 +86,19 @@ func (l *rwLock) RUnlock() {
 // Lock acquires the write side: exclusive against readers and writers.
 func (l *rwLock) Lock() {
 	l.mu.Lock()
+	if l.writer || l.readers > 0 {
+		l.wWaits.Add(1)
+	}
 	for l.writer || l.readers > 0 {
 		l.c().Wait()
 	}
 	l.writer = true
 	l.mu.Unlock()
+}
+
+// contention returns the cumulative contended-acquisition counts.
+func (l *rwLock) contention() (readerWaits, writerWaits uint64) {
+	return l.rWaits.Load(), l.wWaits.Load()
 }
 
 // Unlock releases the write side, waking both queued readers and

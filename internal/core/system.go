@@ -233,6 +233,15 @@ func (s *System) Restore(name string, root *tree.Node) (changed bool, err error)
 	return true, nil
 }
 
+// LockContention reports how many version-funnel acquisitions had to
+// wait since the system was built: readerWaits counts evaluations that
+// found a merge in progress, writerWaits counts merges that queued
+// behind evaluations or another merge. Monotone; the engine reports
+// per-run deltas in RunResult.Stats.
+func (s *System) LockContention() (readerWaits, writerWaits uint64) {
+	return s.engineMu.contention()
+}
+
 // Size returns the total number of nodes across all documents.
 func (s *System) Size() int {
 	n := 0

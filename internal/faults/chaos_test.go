@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/obs"
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// chaosSystem builds a fan-out doc calling svc n times.
+func chaosSystem(t *testing.T, n int, svc core.Service) *core.System {
+	t.Helper()
+	s := core.NewSystem()
+	doc := `top{`
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			doc += ","
+		}
+		doc += `slot{!svc}`
+	}
+	doc += `}`
+	if err := s.AddDocument(tree.NewDocument("d", syntax.MustParseDocument(doc))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddService(svc); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Chaos round-trip: injected faults, retry recovery and the engine all
+// report into one registry, and the degraded run still reaches the same
+// fixpoint as a clean one (Theorem 2.1: replay is idempotent).
+func TestChaosMetricsAndFixpoint(t *testing.T) {
+	inner := core.ConstService("svc", tree.Forest{syntax.MustParseDocument(`r{"ok"}`)})
+
+	clean := chaosSystem(t, 6, inner)
+	cres := clean.Run(core.RunOptions{})
+	if !cres.Terminated {
+		t.Fatalf("clean run: %+v", cres)
+	}
+
+	reg := obs.NewRegistry()
+	flaky := &FaultService{Service: inner, ErrorEvery: 2, Metrics: reg}
+	retried := &core.Retry{Service: flaky, Attempts: 4,
+		Sleep: func(time.Duration) {}, Metrics: reg}
+	chaos := chaosSystem(t, 6, retried)
+	res := chaos.Run(core.RunOptions{ErrorPolicy: core.Degrade, Parallelism: 4, Metrics: reg})
+	if !res.Terminated {
+		t.Fatalf("chaos run: %+v", res)
+	}
+
+	if got := reg.Counter("faults.injected.svc").Value(); got == 0 {
+		t.Fatal("no faults injected — ErrorEvery not biting")
+	}
+	calls := reg.Counter("faults.calls.svc").Value()
+	if calls <= reg.Counter("faults.injected.svc").Value() {
+		t.Fatalf("calls=%d not above injected=%d", calls,
+			reg.Counter("faults.injected.svc").Value())
+	}
+	if got := reg.Counter("mw.retry.retries.svc").Value(); got == 0 {
+		t.Fatal("retry middleware never retried")
+	}
+	if got := reg.Counter("mw.retry.recovered.svc").Value(); got == 0 {
+		t.Fatal("retry middleware never recovered an invocation")
+	}
+	if got := reg.Counter("engine.runs").Value(); got != 1 {
+		t.Fatalf("engine.runs = %d, want 1", got)
+	}
+
+	want := clean.Document("d").Root
+	got := chaos.Document("d").Root
+	if !tree.Isomorphic(got, want) {
+		t.Fatalf("chaos fixpoint diverged:\n%s\nwant\n%s",
+			got.CanonicalString(), want.CanonicalString())
+	}
+}

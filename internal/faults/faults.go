@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 	"axml/internal/tree"
 )
 
@@ -52,6 +53,12 @@ type FaultService struct {
 	Spike time.Duration
 	// Sleep replaces time.Sleep, for tests.
 	Sleep func(time.Duration)
+	// Metrics, when set, counts every invocation under
+	// faults.calls.<service> and every injected failure under
+	// faults.injected.<service> — so chaos experiments read injection
+	// pressure from the same registry as the engine's recovery metrics
+	// (engine.calls.failed, mw.retry.*).
+	Metrics *obs.Registry
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -105,6 +112,12 @@ func (f *FaultService) Invoke(ctx context.Context, b core.Binding) (tree.Forest,
 	}
 	sleep := f.Sleep
 	f.mu.Unlock()
+	if m := f.Metrics; m != nil {
+		m.Counter("faults.calls." + f.Service.ServiceName()).Inc()
+		if fail {
+			m.Counter("faults.injected." + f.Service.ServiceName()).Inc()
+		}
+	}
 	if delay > 0 {
 		if sleep != nil {
 			sleep(delay)

@@ -31,6 +31,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"axml/internal/obs"
 )
 
 // Frame constants.
@@ -168,6 +171,16 @@ type Options struct {
 	// internal/faults). Appends go through the wrapper; fsync still goes
 	// to the file.
 	WrapWriter func(io.Writer) io.Writer
+	// Metrics, when non-nil, receives the journal's counters and
+	// latencies: journal.appends / journal.bytes (records and payload+
+	// frame bytes appended), journal.fsync_ns (fsync latency histogram),
+	// journal.fsyncs and journal.resets (compactions). Durable peers
+	// thread their registry here so journal cost shows up at /debug/vars
+	// next to the sweep latencies it taxes.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, gets one "fsync" span per fsync batch
+	// (attrs: records = appends the batch made durable).
+	Tracer *obs.Tracer
 }
 
 // Journal is an open write-ahead log. Safe for concurrent use.
@@ -240,6 +253,10 @@ func (j *Journal) Append(typ byte, payload []byte) (uint64, error) {
 	}
 	j.seq = seq
 	j.dirty++
+	if m := j.opts.Metrics; m != nil {
+		m.Counter("journal.appends").Inc()
+		m.Counter("journal.bytes").Add(int64(len(frame)))
+	}
 	if j.opts.SyncEvery > 0 && j.dirty >= j.opts.SyncEvery {
 		if err := j.syncLocked(); err != nil {
 			return seq, err
@@ -262,8 +279,18 @@ func (j *Journal) syncLocked() error {
 	if j.dirty == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return err
+	}
+	if m := j.opts.Metrics; m != nil {
+		m.Histogram("journal.fsync_ns").ObserveSince(start)
+		m.Counter("journal.fsyncs").Inc()
+	}
+	if tr := j.opts.Tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: "fsync", TSUs: tr.Now(),
+			DurUs: time.Since(start).Microseconds(),
+			Attrs: map[string]int64{"records": int64(j.dirty)}})
 	}
 	j.dirty = 0
 	return nil
@@ -285,6 +312,9 @@ func (j *Journal) Reset() error {
 		return err
 	}
 	j.dirty = 0
+	if m := j.opts.Metrics; m != nil {
+		m.Counter("journal.resets").Inc()
+	}
 	return j.f.Sync()
 }
 

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging. The cmds (and any embedder) build their logger
+// here so the level flag parses uniformly and tests can swap the writer;
+// library layers take a *slog.Logger and fall back to Discard, keeping
+// internal packages free of bare log.Printf/fmt.Println (enforced by
+// make vet-obs).
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a text-handler logger writing to w at the given
+// level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard is a logger that drops everything — the default for library
+// layers whose caller did not install one, so instrumented code logs
+// unconditionally.
+var Discard = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
+// LoggerOr returns l, or Discard when l is nil.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Discard
+	}
+	return l
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a process- or subsystem-scoped set of named metrics.
+// Metrics are created on first use (Counter/Gauge/Histogram are
+// get-or-create) and live for the registry's lifetime. A nil *Registry
+// returns nil metrics from every getter, which in turn no-op — so
+// instrumented code never branches on "is observability on".
+//
+// Metric names are dot-separated paths, lowercase, with the subsystem
+// first: engine.calls.fired, mw.retry.attempts.GetRating,
+// peer.http.requests.invoke, journal.fsync_ns. The _ns suffix marks
+// nanosecond histograms.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	start  time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		start:  time.Now(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counts[name]; c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric's current value: int64 for counters and
+// gauges, HistSnapshot for histograms. Keys are the metric names.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counts {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// String renders the snapshot as JSON with sorted keys — the expvar.Var
+// contract, so a Registry can be expvar.Publish'ed directly.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := []byte("{")
+	for i, name := range names {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, _ := json.Marshal(name)
+		v, err := json.Marshal(snap[name])
+		if err != nil {
+			v = []byte(`"unmarshalable"`)
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	buf = append(buf, '}')
+	return string(buf)
+}
+
+var _ expvar.Var = (*Registry)(nil)
+
+// varsHandler serves the registry in expvar's /debug/vars wire format:
+// one top-level JSON object whose members are the process-wide expvar
+// defaults (cmdline, memstats, anything else Publish'ed) plus this
+// registry under the "axml" key. Using expvar.Do for the ambient vars
+// keeps the output byte-compatible with expvar.Handler consumers.
+func (r *Registry) varsHandler(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	fmt.Fprintf(w, "%q: %s", "axml", r.String())
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// DebugMux builds the opt-in debug server: expvar-compatible JSON at
+// /debug/vars (ambient expvars plus this registry under "axml") and the
+// live pprof profiles under /debug/pprof/. Mount it on its own listener
+// (-debug-addr); the profiles expose internals that do not belong on
+// the peer's public port.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", r.varsHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

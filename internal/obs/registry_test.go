@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not memoized")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram not memoized")
+	}
+	// Concurrent first-use of the same names must converge on one metric.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 800 {
+		t.Fatalf("shared counter = %d, want 800", got)
+	}
+}
+
+func TestRegistryStringIsSortedJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.gauge").Set(-1)
+	r.Histogram("c.hist_ns").Observe(5)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	if m["b.count"].(float64) != 2 || m["a.gauge"].(float64) != -1 {
+		t.Fatalf("values: %v", m)
+	}
+	hist := m["c.hist_ns"].(map[string]any)
+	if hist["count"].(float64) != 1 || hist["p50"].(float64) != 8 {
+		t.Fatalf("histogram serialization: %v", hist)
+	}
+}
+
+// The debug endpoints are the operator's window (satellite: /debug/vars
+// and pprof must be live and well-formed through httptest).
+func TestDebugMuxVars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.sweeps").Add(3)
+	r.Histogram("engine.eval_ns").Observe(1024)
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not a JSON object: %v\n%s", err, body)
+	}
+	// expvar's ambient defaults must coexist with the registry.
+	if _, ok := vars["cmdline"]; !ok {
+		t.Fatal("missing ambient expvar cmdline")
+	}
+	var ax map[string]any
+	if err := json.Unmarshal(vars["axml"], &ax); err != nil {
+		t.Fatalf("axml member: %v", err)
+	}
+	if ax["engine.sweeps"].(float64) != 3 {
+		t.Fatalf("engine.sweeps = %v", ax["engine.sweeps"])
+	}
+}
+
+func TestDebugMuxPprof(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(NewRegistry()))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one traced interval or point event. Timestamps are
+// microseconds relative to the tracer's start, so traces are compact,
+// diffable and free of wall-clock skew between events.
+//
+// Kinds emitted by the instrumented layers:
+//
+//	sweep   one engine sweep          (attrs: pending, fired, sterile, steps, failures)
+//	call    one service evaluation    (name = service; attrs: wait_us = pool-slot wait)
+//	merge   one result merge          (attrs: wait_us = funnel wait; step)
+//	sync    one mirror sync           (name = local doc; attrs: changed)
+//	push    one push-mode delivery    (name = subscription id; attrs: trees)
+//	fsync   one journal fsync batch   (attrs: records)
+//	snapshot one snapshot compaction  (attrs: bytes)
+type Span struct {
+	Kind  string           `json:"kind"`
+	Name  string           `json:"name,omitempty"`
+	Sweep int              `json:"sweep,omitempty"`
+	TSUs  int64            `json:"ts_us"`
+	DurUs int64            `json:"dur_us"`
+	Err   string           `json:"err,omitempty"`
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Tracer serializes spans to a writer, one JSON object per line —
+// loadable by scripts/trace-summarize.sh or any JSONL tool. A nil
+// Tracer no-ops every method, so instrumented code emits
+// unconditionally. Safe for concurrent use; emission order is the
+// serialization order, which under parallel firing is not necessarily
+// span start order (sort by ts_us offline).
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	enc   *json.Encoder
+	start time.Time
+	err   error
+
+	// sample admits every n-th call span (1 = all). Sweep, merge and the
+	// coarser layer spans are never sampled away: there are few of them
+	// and they carry the aggregate attributes.
+	sample  int64
+	dropped atomic.Int64
+	seen    atomic.Int64
+}
+
+// NewTracer wraps w. The caller owns w's lifetime (close files after
+// the traced work completes).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, enc: json.NewEncoder(w), start: time.Now(), sample: 1}
+}
+
+// SetSample keeps one call span in every n (n < 1 is treated as 1).
+func (t *Tracer) SetSample(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.sample = int64(n)
+	t.mu.Unlock()
+}
+
+// Enabled reports whether spans will actually be written — false for a
+// nil tracer or one whose writer already failed. Use it to skip
+// expensive attribute assembly.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err == nil
+}
+
+// Now returns the tracer-relative timestamp (µs) for a span being
+// assembled; 0 for a nil tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.start) / time.Microsecond)
+}
+
+// Emit writes one span. Write errors are sticky: the first one disables
+// the tracer (observability must not take down the engine) and is
+// reported by Err.
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	if s.Kind == "call" {
+		n := t.seen.Add(1)
+		t.mu.Lock()
+		sample := t.sample
+		t.mu.Unlock()
+		if sample > 1 && n%sample != 0 {
+			t.dropped.Add(1)
+			return
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(s)
+}
+
+// Err returns the sticky write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Dropped returns how many call spans sampling discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}

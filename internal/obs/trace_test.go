@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Span{Kind: "sweep", Sweep: 1, TSUs: tr.Now(), DurUs: 10,
+		Attrs: map[string]int64{"fired": 2}})
+	tr.Emit(Span{Kind: "call", Name: "GetRating", DurUs: 5, Err: "boom"})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var spans []Span
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Kind != "sweep" || spans[0].Attrs["fired"] != 2 {
+		t.Fatalf("sweep span: %+v", spans[0])
+	}
+	if spans[1].Name != "GetRating" || spans[1].Err != "boom" {
+		t.Fatalf("call span: %+v", spans[1])
+	}
+}
+
+func TestTracerSamplesOnlyCallSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetSample(4)
+	for i := 0; i < 16; i++ {
+		tr.Emit(Span{Kind: "call", Name: "f"})
+	}
+	tr.Emit(Span{Kind: "sweep"})
+	tr.Emit(Span{Kind: "merge"})
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 4+2 { // every 4th call + both unsampled kinds
+		t.Fatalf("got %d lines, want 6:\n%s", lines, buf.String())
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", tr.Dropped())
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk gone")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestTracerWriteErrorIsSticky(t *testing.T) {
+	tr := NewTracer(&failWriter{after: 1})
+	tr.Emit(Span{Kind: "sweep"})
+	if err := tr.Err(); err != nil {
+		t.Fatalf("first emit failed: %v", err)
+	}
+	tr.Emit(Span{Kind: "sweep"})
+	if tr.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+	if tr.Enabled() {
+		t.Fatal("failed tracer still enabled")
+	}
+	tr.Emit(Span{Kind: "sweep"}) // must not panic or clear the error
+	if tr.Err() == nil {
+		t.Fatal("sticky error cleared")
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Emit(Span{Kind: "call", Name: "f", TSUs: tr.Now()})
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("interleaved write produced bad JSON: %v", err)
+		}
+		n++
+	}
+	if n != 400 {
+		t.Fatalf("got %d spans, want 400", n)
+	}
+}

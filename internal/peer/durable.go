@@ -9,8 +9,11 @@ import (
 	"sort"
 	"strings"
 
+	"time"
+
 	"axml/internal/core"
 	"axml/internal/journal"
+	"axml/internal/obs"
 	"axml/internal/tree"
 )
 
@@ -95,8 +98,10 @@ func NewDurable(name string, s *core.System, d Durability) (*Peer, RecoveryInfo,
 // freshly-built system (the persisted document states LUB-merge over the
 // seed) and reopens the journal for appending. It runs before the peer
 // exists: recovery's Restore merges must not observe a mutation hook
-// that would journal them back.
-func openStore(name string, s *core.System, d Durability) (*store, RecoveryInfo, error) {
+// that would journal them back. The registry and tracer (either may be
+// nil) are handed to the journal for its journal.* metrics and fsync
+// spans.
+func openStore(name string, s *core.System, d Durability, m *obs.Registry, tr *obs.Tracer) (*store, RecoveryInfo, error) {
 	var info RecoveryInfo
 	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
 		return nil, info, err
@@ -158,6 +163,8 @@ func openStore(name string, s *core.System, d Durability) (*store, RecoveryInfo,
 	j, err := journal.Open(logPath, replayInfo, journal.Options{
 		SyncEvery:  syncEvery,
 		WrapWriter: d.WrapWriter,
+		Metrics:    m,
+		Tracer:     tr,
 	})
 	if err != nil {
 		return nil, info, fmt.Errorf("peer %s: open journal: %w", name, err)
@@ -233,10 +240,12 @@ func (p *Peer) flushJournalLocked() {
 		payload, err := MarshalDocRecord(name, doc.Root)
 		if err != nil {
 			st.err = fmt.Errorf("peer %s: encode journal record for %q: %w", p.Name, name, err)
+			p.logger.Error("journaling disabled", "peer", p.Name, "err", st.err)
 			return
 		}
 		if _, err := st.j.Append(recDocState, payload); err != nil {
 			st.err = fmt.Errorf("peer %s: journal append for %q: %w", p.Name, name, err)
+			p.logger.Error("journaling disabled", "peer", p.Name, "err", st.err)
 			return
 		}
 		delete(p.dirty, name)
@@ -245,6 +254,7 @@ func (p *Peer) flushJournalLocked() {
 	if st.snapshotEvery > 0 && st.sinceSnapshot >= st.snapshotEvery {
 		if err := p.snapshotLocked(); err != nil {
 			st.err = err
+			p.logger.Error("journaling disabled", "peer", p.Name, "err", st.err)
 		}
 	}
 }
@@ -257,6 +267,7 @@ func (p *Peer) flushJournalLocked() {
 // — which recovery skips by sequence number.
 func (p *Peer) snapshotLocked() error {
 	st := p.store
+	start := time.Now()
 	payload, err := MarshalSnapshot(p.system.Snapshot())
 	if err != nil {
 		return fmt.Errorf("peer %s: encode snapshot: %w", p.Name, err)
@@ -272,6 +283,16 @@ func (p *Peer) snapshotLocked() error {
 		return fmt.Errorf("peer %s: compact journal: %w", p.Name, err)
 	}
 	st.sinceSnapshot = 0
+	if m := p.metrics; m != nil {
+		m.Counter("journal.snapshots").Inc()
+		m.Counter("journal.snapshot_bytes").Add(int64(len(payload)))
+		m.Histogram("journal.snapshot_ns").ObserveSince(start)
+	}
+	if tr := p.tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: "snapshot", Name: p.Name, TSUs: tr.Now(),
+			DurUs: time.Since(start).Microseconds(),
+			Attrs: map[string]int64{"bytes": int64(len(payload))}})
+	}
 	return nil
 }
 
@@ -295,6 +316,7 @@ func (p *Peer) AntiEntropy() (resynced int, err error) {
 	p.mirrorMu.Lock()
 	mirrors := append([]*Mirror(nil), p.mirrors...)
 	p.mirrorMu.Unlock()
+	p.metrics.Counter("peer.antientropy.runs").Inc()
 	for _, m := range mirrors {
 		client := m.Client
 		if client == nil {
@@ -302,6 +324,7 @@ func (p *Peer) AntiEntropy() (resynced int, err error) {
 		}
 		hashes, herr := FetchHashes(client, m.Remote)
 		if herr != nil {
+			p.metrics.Counter("peer.antientropy.errors").Inc()
 			if err == nil {
 				err = herr
 			}
@@ -312,12 +335,17 @@ func (p *Peer) AntiEntropy() (resynced int, err error) {
 			continue // replica provably current
 		}
 		if _, serr := m.Sync(p); serr != nil {
+			p.metrics.Counter("peer.antientropy.errors").Inc()
 			if err == nil {
 				err = serr
 			}
 			continue
 		}
 		resynced++
+	}
+	p.metrics.Counter("peer.antientropy.resynced").Add(int64(resynced))
+	if resynced > 0 {
+		p.logger.Info("anti-entropy resynced mirrors", "peer", p.Name, "resynced", resynced)
 	}
 	return resynced, err
 }

@@ -1,0 +1,67 @@
+package peer
+
+import (
+	"net/http"
+	"time"
+)
+
+// countingWriter records the status code and body bytes a handler writes,
+// for the per-endpoint metrics below. WriteHeader is tracked explicitly
+// because handlers that never call it implicitly answer 200.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	cw.status = code
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(b)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps an endpoint handler with per-endpoint metrics:
+//
+//	peer.http.requests.<endpoint>    counter, every request
+//	peer.http.errors.<endpoint>      counter, responses with status >= 400
+//	peer.http.latency_ns.<endpoint>  histogram, handler wall time
+//	peer.http.bytes_in.<endpoint>    counter, declared request body bytes
+//	peer.http.bytes_out.<endpoint>   counter, response body bytes written
+//
+// With no registry attached the original handler runs untouched — the
+// wrapper costs one nil check, so Handler can install it unconditionally.
+func (p *Peer) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := p.metrics
+		if m == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		h(cw, r)
+		m.Counter("peer.http.requests." + endpoint).Inc()
+		m.Histogram("peer.http.latency_ns." + endpoint).ObserveSince(start)
+		if r.ContentLength > 0 {
+			m.Counter("peer.http.bytes_in." + endpoint).Add(r.ContentLength)
+		}
+		if cw.bytes > 0 {
+			m.Counter("peer.http.bytes_out." + endpoint).Add(cw.bytes)
+		}
+		if cw.status >= 400 {
+			m.Counter("peer.http.errors." + endpoint).Inc()
+		}
+	}
+}
+
+// methodNotAllowed answers 405 and names the methods the endpoint does
+// accept — RFC 9110 requires the Allow header on 405 responses.
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	http.Error(w, allow+" required", http.StatusMethodNotAllowed)
+}

@@ -3,8 +3,10 @@ package peer
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 	"axml/internal/subsume"
 	"axml/internal/tree"
 )
@@ -40,10 +42,14 @@ type Mirror struct {
 }
 
 // Sync pulls the remote document once and merges it into the local
-// system, reporting whether the replica grew.
+// system, reporting whether the replica grew. Syncs record into the
+// peer's registry (peer.mirror.syncs/changed/errors, sync_ns) and emit a
+// "sync" span when the peer carries a tracer.
 func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
+	start := time.Now()
 	remote, err := FetchDoc(m.Client, m.Remote, m.RemoteDoc)
 	if err != nil {
+		p.metrics.Counter("peer.mirror.errors").Inc()
 		return false, err
 	}
 	p.System(func(s *core.System) {
@@ -72,11 +78,26 @@ func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
 		}
 	})
 	if err != nil {
+		p.metrics.Counter("peer.mirror.errors").Inc()
 		return false, err
 	}
 	m.Syncs++
 	m.LastChanged = changed
 	m.lastRemote = docDigest(remote)
+	p.metrics.Counter("peer.mirror.syncs").Inc()
+	p.metrics.Histogram("peer.mirror.sync_ns").ObserveSince(start)
+	if changed {
+		p.metrics.Counter("peer.mirror.changed").Inc()
+	}
+	if tr := p.tracer; tr.Enabled() {
+		var grew int64
+		if changed {
+			grew = 1
+		}
+		tr.Emit(obs.Span{Kind: "sync", Name: m.LocalDoc, TSUs: tr.Now(),
+			DurUs: time.Since(start).Microseconds(),
+			Attrs: map[string]int64{"changed": grew}})
+	}
 	return changed, nil
 }
 

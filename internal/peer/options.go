@@ -1,9 +1,11 @@
 package peer
 
 import (
+	"log/slog"
 	"net/http"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 )
 
 // Option configures a peer at construction. Options keep Open's signature
@@ -17,6 +19,9 @@ type config struct {
 	client      *http.Client
 	maxWire     int64
 	errorPolicy core.ErrorPolicy
+	metrics     *obs.Registry
+	tracer      *obs.Tracer
+	logger      *slog.Logger
 }
 
 // WithDurability backs the peer with a write-ahead journal and snapshots
@@ -44,4 +49,28 @@ func WithLimits(maxWireBytes int64) Option {
 // the zero value is core.FailFast.
 func WithErrorPolicy(pol core.ErrorPolicy) Option {
 	return func(c *config) { c.errorPolicy = pol }
+}
+
+// WithObservability attaches a metrics registry: the peer's HTTP
+// endpoints (peer.http.*), sweeps (engine.* via the embedded engine),
+// mirror/anti-entropy/push activity (peer.*) and — for durable peers —
+// the journal (journal.*) all record into it. Serve it with
+// obs.DebugMux. Nil disables metric collection (the default).
+func WithObservability(reg *obs.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// WithTracer attaches a span tracer: sweeps, calls and merges from the
+// peer's local runs, plus mirror syncs and push deliveries, emit
+// obs.Span lines to it. Nil disables tracing (the default).
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
+// WithLogger routes the peer's structured logs (recovery summaries at
+// Info, sweep outcomes at Debug, journaling failures at Error) to l.
+// Nil discards them — the library never writes to a global logger on
+// its own.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
 }

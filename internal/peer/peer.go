@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 	"axml/internal/tree"
 )
 
@@ -93,6 +95,13 @@ type Peer struct {
 	// (WithLimits); 0 means the package-wide MaxWireBytes.
 	client  *http.Client
 	maxWire int64
+
+	// metrics and tracer are the observability sinks (WithObservability,
+	// WithTracer); either may be nil. logger is never nil — Open defaults
+	// it to a discarding logger so call sites need no guard.
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	logger  *slog.Logger
 }
 
 // Stats counts a peer's activity.
@@ -133,7 +142,7 @@ func Open(name string, s *core.System, opts ...Option) (*Peer, RecoveryInfo, err
 	var st *store
 	if cfg.durability.Dir != "" {
 		var err error
-		st, info, err = openStore(name, s, cfg.durability)
+		st, info, err = openStore(name, s, cfg.durability, cfg.metrics, cfg.tracer)
 		if err != nil {
 			return nil, info, err
 		}
@@ -144,6 +153,14 @@ func Open(name string, s *core.System, opts ...Option) (*Peer, RecoveryInfo, err
 		ErrorPolicy: cfg.errorPolicy,
 		client:      cfg.client,
 		maxWire:     cfg.maxWire,
+		metrics:     cfg.metrics,
+		tracer:      cfg.tracer,
+		logger:      obs.LoggerOr(cfg.logger),
+	}
+	if info.Recovered {
+		p.logger.Info("peer recovered",
+			"peer", name, "snapshot_seq", info.SnapshotSeq,
+			"replayed", info.Replayed, "torn", info.Torn)
 	}
 	p.AttachGates()
 	if st != nil {
@@ -220,19 +237,21 @@ func (p *Peer) Stats() Stats {
 	return p.stats
 }
 
-// Handler returns the HTTP handler exposing the peer.
+// Handler returns the HTTP handler exposing the peer. When a registry is
+// attached (WithObservability) every endpoint reports request, error,
+// latency and byte metrics under peer.http.*.<endpoint>.
 func (p *Peer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathInvoke, p.handleInvoke)
-	mux.HandleFunc(PathDoc, p.handleDoc)
-	mux.HandleFunc(PathSweep, p.handleSweep)
-	mux.HandleFunc(PathHash, p.handleHash)
+	mux.HandleFunc(PathInvoke, p.instrument("invoke", p.handleInvoke))
+	mux.HandleFunc(PathDoc, p.instrument("doc", p.handleDoc))
+	mux.HandleFunc(PathSweep, p.instrument("sweep", p.handleSweep))
+	mux.HandleFunc(PathHash, p.instrument("hash", p.handleHash))
 	return mux
 }
 
 func (p *Peer) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.wireLimit()))
@@ -286,6 +305,7 @@ func (p *Peer) Serve(ctx context.Context, env Envelope) (tree.Forest, error) {
 		input = tree.NewLabel(tree.Input)
 	}
 	p.stats.Served++
+	p.metrics.Counter("peer.served").Inc()
 	return svc.Invoke(ctx, core.Binding{
 		Input:   input,
 		Context: env.Context,
@@ -295,7 +315,7 @@ func (p *Peer) Serve(ctx context.Context, env Envelope) (tree.Forest, error) {
 
 func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	name := r.URL.Path[len(PathDoc):]
@@ -337,9 +357,14 @@ func (p *Peer) Sweep() (bool, error) {
 	// network round trip, a contract built on exactly one invocation being
 	// in flight at a time. Parallel firing within a peer sweep would have
 	// concurrent invocations unlocking/relocking the same gate.
-	res := p.system.Run(core.RunOptions{MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy, Parallelism: 1})
+	res := p.system.Run(core.RunOptions{
+		MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy, Parallelism: 1,
+		Metrics: p.metrics, Tracer: p.tracer,
+	})
 	p.stats.Steps += res.Steps
 	p.stats.Failures += res.Failures
+	p.logger.Debug("sweep", "peer", p.Name,
+		"steps", res.Steps, "attempts", res.Attempts, "failures", res.Failures)
 	p.flushJournalLocked()
 	if res.Err != nil && (p.ErrorPolicy == core.FailFast || res.Steps == 0) {
 		return res.Steps > 0, res.Err
@@ -349,7 +374,7 @@ func (p *Peer) Sweep() (bool, error) {
 
 func (p *Peer) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	changed, err := p.Sweep()
@@ -378,7 +403,7 @@ func (p *Peer) Hash() string {
 
 func (p *Peer) handleHash(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	io.WriteString(w, p.Hash())

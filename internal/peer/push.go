@@ -7,8 +7,10 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 	"axml/internal/subsume"
 	"axml/internal/tree"
 )
@@ -53,7 +55,9 @@ func (pb *Publisher) Subscribe(id string, env Envelope, callbackURL string) {
 }
 
 // Flush re-evaluates every subscription and pushes the trees not yet
-// sent. It returns the number of trees pushed.
+// sent. It returns the number of trees pushed. Deliveries record into
+// the publishing peer's registry (peer.push.flushes/pushed/errors) and
+// emit one "push" span per delivering subscription.
 func (pb *Publisher) Flush(client *http.Client) (int, error) {
 	if client == nil {
 		client = DefaultClient
@@ -61,10 +65,12 @@ func (pb *Publisher) Flush(client *http.Client) (int, error) {
 	pb.mu.Lock()
 	subs := append([]*subscription(nil), pb.subs...)
 	pb.mu.Unlock()
+	pb.peer.metrics.Counter("peer.push.flushes").Inc()
 	pushed := 0
 	for _, sub := range subs {
 		forest, err := pb.peer.Serve(context.Background(), sub.env)
 		if err != nil {
+			pb.peer.metrics.Counter("peer.push.errors").Inc()
 			return pushed, err
 		}
 		var fresh tree.Forest
@@ -85,19 +91,29 @@ func (pb *Publisher) Flush(client *http.Client) (int, error) {
 		}
 		data, err := MarshalForest(fresh)
 		if err != nil {
+			pb.peer.metrics.Counter("peer.push.errors").Inc()
 			return pushed, err
 		}
+		start := time.Now()
 		resp, err := client.Post(sub.callback+PathPush+sub.id, "application/xml", bytes.NewReader(data))
 		if err != nil {
+			pb.peer.metrics.Counter("peer.push.errors").Inc()
 			return pushed, err
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
+			pb.peer.metrics.Counter("peer.push.errors").Inc()
 			return pushed, fmt.Errorf("peer: push to %s: %s: %s", sub.callback, resp.Status, string(body))
 		}
 		sub.sent = append(sub.sent, fresh...)
 		pushed += len(fresh)
+		pb.peer.metrics.Counter("peer.push.pushed").Add(int64(len(fresh)))
+		if tr := pb.peer.tracer; tr.Enabled() {
+			tr.Emit(obs.Span{Kind: "push", Name: sub.id, TSUs: tr.Now(),
+				DurUs: time.Since(start).Microseconds(),
+				Attrs: map[string]int64{"trees": int64(len(fresh))}})
+		}
 	}
 	return pushed, nil
 }
@@ -132,16 +148,17 @@ func (sb *Subscriber) Register(id, doc string, parent *tree.Node) {
 }
 
 // Handler returns the subscriber's HTTP handler (mount alongside or
-// instead of the peer handler).
+// instead of the peer handler). Like the peer endpoints, it reports
+// peer.http.*.push metrics when the peer carries a registry.
 func (sb *Subscriber) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathPush, sb.handlePush)
+	mux.HandleFunc(PathPush, sb.peer.instrument("push", sb.handlePush))
 	return mux
 }
 
 func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	id := r.URL.Path[len(PathPush):]
@@ -172,5 +189,6 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 		// Out-of-band growth: make the version gate see the pushed data.
 		s.Touch(target.doc)
 	})
+	sb.peer.metrics.Counter("peer.push.delivered").Add(int64(len(forest)))
 	io.WriteString(w, "ok")
 }

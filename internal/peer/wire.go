@@ -20,6 +20,8 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"strings"
+	"unicode"
 
 	"axml/internal/tree"
 )
@@ -50,6 +52,35 @@ func wireName(n xml.Name) string {
 		return "ax:" + n.Local
 	}
 	return n.Local
+}
+
+// validWireLabel reports whether a decoded element name re-emits as a
+// well-formed XML element. Go's decoder is lenient about names in
+// prefixed positions (it accepts <A:0/>), but the encoder writes names
+// verbatim, so a label that is not a valid prefixed name would marshal
+// into bytes no parser accepts; reject those on decode instead.
+func validWireLabel(s string) bool {
+	prefix, local, cut := strings.Cut(s, ":")
+	if cut && !validNCName(local) {
+		return false
+	}
+	return validNCName(prefix)
+}
+
+func validNCName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) {
+			continue
+		}
+		if i > 0 && (r == '-' || r == '.' || unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
 }
 
 // MarshalTree renders a tree in the XML wire format.
@@ -166,7 +197,11 @@ func decodeElement(dec *xml.Decoder, start xml.StartElement) (*tree.Node, error)
 		n := tree.NewFunc(svc)
 		return decodeChildren(dec, n)
 	default:
-		return decodeChildren(dec, tree.NewLabel(wireName(start.Name)))
+		name := wireName(start.Name)
+		if !validWireLabel(name) {
+			return nil, fmt.Errorf("peer: element name %q does not round-trip", name)
+		}
+		return decodeChildren(dec, tree.NewLabel(name))
 	}
 }
 

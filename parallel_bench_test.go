@@ -87,6 +87,7 @@ func BenchmarkRunParallel(b *testing.B) {
 		want := ref.CanonicalString()
 		for _, par := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/parallelism-%d", wl.name, par), func(b *testing.B) {
+				var st axml.RunStats
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					s := wl.mk()
@@ -99,8 +100,17 @@ func BenchmarkRunParallel(b *testing.B) {
 					if s.CanonicalString() != want {
 						b.Fatal("parallel fixpoint diverged from sequential")
 					}
+					st = res.Stats
 					b.StartTimer()
 				}
+				// The engine's own view of the run (last iteration), so the
+				// bench trajectory records where the time went, not just
+				// that it went: bench-json.sh folds these extra columns
+				// into BENCH_parallel.json.
+				b.ReportMetric(float64(st.CallsFired), "fired")
+				b.ReportMetric(float64(st.Eval.P99), "eval_p99_ns")
+				b.ReportMetric(float64(st.SlotWait.P99), "slotwait_p99_ns")
+				b.ReportMetric(float64(st.MergeWait.P99), "mergewait_p99_ns")
 			})
 		}
 	}

@@ -1,8 +1,10 @@
 #!/bin/sh
 # bench-json.sh — convert `go test -bench` output on stdin into the
 # BENCH_parallel.json trajectory format: one record per benchmark with
-# its ns/op, plus the speedup of every parallelism level relative to
-# parallelism-1 of the same workload.
+# its ns/op, the speedup of every parallelism level relative to
+# parallelism-1 of the same workload, and any extra b.ReportMetric
+# columns the benchmark emitted (the engine's RunResult.Stats view:
+# fired, eval_p99_ns, slotwait_p99_ns, mergewait_p99_ns).
 #
 # Usage: go test -bench BenchmarkRunParallel ... | scripts/bench-json.sh
 set -eu
@@ -17,6 +19,11 @@ awk '
     split(part[2], lvl, "-")
     par = lvl[2]
     ns[wl, par] = $3
+    # Extra metric columns come in value/unit pairs after "ns/op".
+    for (f = 5; f + 1 <= NF; f += 2) {
+        if ($(f + 1) == "ns/op") continue
+        ex[wl, par] = ex[wl, par] sprintf(", \"%s\": %g", $(f + 1), $f + 0)
+    }
     if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
     pars[wl] = pars[wl] " " par
 }
@@ -33,8 +40,8 @@ END {
         for (j = 1; j <= m; j++) {
             par = p[j]
             speedup = ns[wl, 1] / ns[wl, par]
-            printf "      \"parallelism-%s\": {\"ns_per_op\": %d, \"speedup_vs_seq\": %.2f}%s\n", \
-                par, ns[wl, par], speedup, (j < m ? "," : "")
+            printf "      \"parallelism-%s\": {\"ns_per_op\": %d, \"speedup_vs_seq\": %.2f%s}%s\n", \
+                par, ns[wl, par], speedup, ex[wl, par], (j < m ? "," : "")
         }
         printf "    }%s\n", (i < n ? "," : "")
     }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# lint-obs.sh — ban bare stdlib printing from library code.
+#
+# Library layers must log through the *slog.Logger they are handed (see
+# internal/obs): a bare log.Printf or fmt.Println in internal/ writes to
+# a global destination the embedding process cannot redirect, filter or
+# level. Test files are exempt (t.Log exists, but a quick println in a
+# test hurts nobody), as are the cmds (they own the process's stderr and
+# build the logger in the first place).
+#
+# Usage: scripts/lint-obs.sh  (run from the repo root; make vet-obs)
+set -eu
+
+# Strings and comments can mention the banned calls (this file's own doc
+# does); strip line comments before matching so only code triggers.
+bad=$(grep -rn --include='*.go' -E 'log\.(Print|Printf|Println|Fatal|Fatalf|Fatalln|Panic|Panicf|Panicln)\(|fmt\.(Print|Println|Printf)\(' internal/ \
+    | grep -v '_test\.go:' \
+    | grep -vE ':[0-9]+:[[:space:]]*//' \
+    || true)
+
+if [ -n "$bad" ]; then
+    echo "vet-obs: bare log/fmt printing in library code (use the slog.Logger threaded via internal/obs):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "vet-obs: ok"

@@ -1,0 +1,56 @@
+#!/bin/sh
+# trace-summarize.sh — summarize a JSONL span trace (-trace-out of the
+# axml and axml-peer commands, or any obs.Tracer output).
+#
+# Prints per-kind span counts and total/mean durations, the slowest
+# services by total evaluation time, per-sweep progress (fired vs
+# sterile), and the span with the longest single duration. The spans are
+# flat one-line JSON objects, so field extraction is plain pattern
+# matching — no JSON tooling required.
+#
+# Usage: scripts/trace-summarize.sh trace.jsonl   (or on stdin)
+set -eu
+
+awk '
+function field(re, skip,   v) {
+    if (match($0, re)) return substr($0, RSTART + skip, RLENGTH - skip)
+    return ""
+}
+{
+    kind = field("\"kind\":\"[^\"]*", 8)
+    name = field("\"name\":\"[^\"]*", 8)
+    dur  = field("\"dur_us\":-?[0-9]+", 9) + 0
+    if (kind == "") next
+    spans++
+    cnt[kind]++; tot[kind] += dur
+    if (dur > maxdur) { maxdur = dur; maxline = $0 }
+    if (kind == "call") {
+        ccnt[name]++; ctot[name] += dur
+        if (field("\"err\":\"[^\"]*", 7) != "") cerr[name]++
+    }
+    if (kind == "sweep") {
+        sweeps++
+        sfired[sweeps]   = field("\"fired\":-?[0-9]+", 8) + 0
+        ssterile[sweeps] = field("\"sterile\":-?[0-9]+", 10) + 0
+    }
+}
+END {
+    if (spans == 0) { print "no spans"; exit 0 }
+    printf "%d spans\n\n", spans
+    printf "%-10s %8s %12s %12s\n", "kind", "count", "total_ms", "mean_us"
+    for (k in cnt)
+        printf "%-10s %8d %12.1f %12.1f\n", k, cnt[k], tot[k] / 1000, tot[k] / cnt[k]
+    if (length(ccnt) > 0) {
+        printf "\n%-24s %8s %12s %12s %6s\n", "service", "calls", "total_ms", "mean_us", "errs"
+        for (s in ccnt)
+            printf "%-24s %8d %12.1f %12.1f %6d\n", s, ccnt[s], ctot[s] / 1000, ctot[s] / ccnt[s], cerr[s]
+    }
+    if (sweeps > 0) {
+        printf "\nsweeps: %d", sweeps
+        printf "  fired/sterile per sweep:"
+        for (i = 1; i <= sweeps && i <= 16; i++) printf " %d/%d", sfired[i], ssterile[i]
+        if (sweeps > 16) printf " ..."
+        printf "\n"
+    }
+    printf "\nslowest span (%.1f ms):\n%s\n", maxdur / 1000, maxline
+}' "$@"
