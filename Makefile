@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke bench bench-compare verify
+.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke bench bench-compare bench-check verify
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,17 @@ OLD ?= bench.old
 NEW ?= bench.out
 bench-compare:
 	scripts/bench-compare.sh $(OLD) $(NEW)
+
+# Regression gate: re-run the benchmark and fail if ns_per_op or
+# mergewait_p99_ns regresses more than 20% against the committed
+# BENCH_parallel.json (workloads absent from the baseline pass — adding
+# a benchmark does not require regenerating the baseline in the same
+# change).
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkRunParallel -benchtime 5x -count 1 . > bench.check.out
+	scripts/bench-json.sh < bench.check.out > bench.check.json
+	scripts/bench-compare.sh -check BENCH_parallel.json bench.check.json
+	@rm -f bench.check.out bench.check.json
 
 # Tier-1 verify: build + tests, extended with gofmt, go vet (test files
 # of the test-less cmd packages included), the logging lint, the race

@@ -32,6 +32,7 @@ import (
 func main() {
 	maxSteps := flag.Int("max-steps", 100000, "rewriting step budget")
 	parallel := flag.Int("parallel", 0, "concurrent invocations per run (0 = GOMAXPROCS, 1 = sequential)")
+	incremental := flag.Bool("incremental", false, "incremental evaluation: semi-naive deltas, event-driven scheduling above one worker")
 	traceOut := flag.String("trace-out", "", "append the run's JSON trace spans, one per line, to this file")
 	stats := flag.Bool("stats", false, "print run statistics (call counts, latency quantiles, lock waits)")
 	flag.Usage = usage
@@ -41,7 +42,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opts := cli.Options{MaxSteps: *maxSteps, Parallelism: *parallel, Stats: *stats}
+	opts := cli.Options{MaxSteps: *maxSteps, Parallelism: *parallel,
+		Incremental: *incremental, Stats: *stats}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -59,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: axml [-max-steps N] [-parallel N] <command> ...
+	fmt.Fprintln(os.Stderr, `usage: axml [-max-steps N] [-parallel N] [-incremental] <command> ...
 commands:
   parse <doc>                    parse and pretty-print a document
   reduce <doc>                   print the reduced version

@@ -27,6 +27,10 @@ type Options struct {
 	// Parallelism is the run's worker count (0 = GOMAXPROCS, 1 =
 	// deterministic sequential order).
 	Parallelism int
+	// Incremental enables incremental evaluation for run: semi-naive
+	// delta matching for declarative services, and (above one worker)
+	// the event-driven scheduler instead of repeated sweeps.
+	Incremental bool
 	// Trace, when non-nil, receives the run's JSON trace spans, one per
 	// line (the -trace-out flag; summarize with
 	// scripts/trace-summarize.sh).
@@ -89,7 +93,8 @@ func Run(out io.Writer, opts Options, cmd string, args ...string) error {
 			tracer = obs.NewTracer(opts.Trace)
 		}
 		res := s.Run(core.RunOptions{
-			MaxSteps: opts.MaxSteps, Parallelism: opts.Parallelism, Tracer: tracer,
+			MaxSteps: opts.MaxSteps, Parallelism: opts.Parallelism,
+			Incremental: opts.Incremental, Tracer: tracer,
 		})
 		if res.Err != nil {
 			return res.Err
@@ -245,8 +250,9 @@ func Run(out io.Writer, opts Options, cmd string, args ...string) error {
 // run subcommand's existing header style so pipelines that skip comments
 // skip these too.
 func printStats(out io.Writer, st core.RunStats) {
-	fmt.Fprintf(out, "# stats fired=%d sterile=%d reader_waits=%d writer_waits=%d\n",
-		st.CallsFired, st.CallsSterile, st.ReaderWaits, st.WriterWaits)
+	fmt.Fprintf(out, "# stats fired=%d sterile=%d delta_evals=%d enqueues=%d coalesced=%d reader_waits=%d writer_waits=%d\n",
+		st.CallsFired, st.CallsSterile, st.DeltaEvals, st.Enqueues,
+		st.EnqueuesCoalesced, st.ReaderWaits, st.WriterWaits)
 	printHist(out, "eval_ns", st.Eval)
 	printHist(out, "slot_wait_ns", st.SlotWait)
 	printHist(out, "merge_wait_ns", st.MergeWait)

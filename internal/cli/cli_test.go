@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"fmt"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,41 @@ func TestRunQuerySnapshotLazy(t *testing.T) {
 	out = run(t, files, "lazy", "tc.axml", `pair{$x,$y} :- d1/r{t{a{$x},b{$y}}}`)
 	if !strings.Contains(out, "stable=true") {
 		t.Fatalf("lazy output: %q", out)
+	}
+}
+
+// An incremental run must reach the same fixpoint as a plain run and
+// report its delta evaluations through -stats.
+func TestRunIncremental(t *testing.T) {
+	files := map[string]string{"tc.axml": tcFile}
+	plain := run(t, files, "run", "tc.axml")
+	var buf bytes.Buffer
+	opts := Options{ReadFile: memFS(files), Incremental: true, Stats: true, Parallelism: 4}
+	if err := Run(&buf, opts, "run", "tc.axml"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "terminated=true") {
+		t.Fatalf("incremental run output: %q", out)
+	}
+	if !strings.Contains(out, `t{a{"1"},b{"3"}}`) {
+		t.Fatalf("incremental run missing closure pair: %q", out)
+	}
+	// Same documents as the plain run (drop the differing # comments).
+	docLines := func(s string) []string {
+		var ds []string
+		for _, l := range strings.Split(s, "\n") {
+			if l != "" && !strings.HasPrefix(l, "#") {
+				ds = append(ds, l)
+			}
+		}
+		return ds
+	}
+	if got, want := docLines(out), docLines(plain); !slices.Equal(got, want) {
+		t.Fatalf("incremental documents %v, plain %v", got, want)
+	}
+	if !strings.Contains(out, "delta_evals=") || strings.Contains(out, "delta_evals=0 ") {
+		t.Fatalf("stats missing delta evaluations: %q", out)
 	}
 }
 

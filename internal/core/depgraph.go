@@ -17,8 +17,34 @@ type DepGraph struct {
 }
 
 // DependencyGraph builds the dependency graph. It fails on systems with
-// black-box services, whose definitions are unknown.
+// black-box services, whose definitions are unknown; services wrapped in
+// middleware (Retry, Timeout, faults.FaultService, ...) are unwrapped to
+// their innermost implementation first, so a decorated declarative
+// service stays analyzable. Use ConservativeDependencyGraph for mixed
+// systems.
 func (s *System) DependencyGraph() (*DepGraph, error) {
+	return s.dependencyGraph(false)
+}
+
+// ConservativeDependencyGraph builds the dependency graph of a system
+// that may contain black-box services, over-approximating each black box
+// by an edge to every document: an opaque service could read anything,
+// so anything it could read must count as a dependency. The graph never
+// fails to build; for fully declarative systems it coincides with
+// DependencyGraph. The incremental engine uses this over-approximation
+// so one opaque service degrades only its own calls to full re-firing,
+// not the whole system to full sweeps.
+func (s *System) ConservativeDependencyGraph() *DepGraph {
+	g, err := s.dependencyGraph(true)
+	if err != nil {
+		// Unreachable: conservative mode has no failing path. Keep the
+		// panic so a future edit cannot silently start returning nil.
+		panic(err)
+	}
+	return g
+}
+
+func (s *System) dependencyGraph(conservative bool) (*DepGraph, error) {
 	g := &DepGraph{Edges: map[string][]string{}, IsDoc: map[string]bool{}}
 	add := func(from, to string) {
 		g.Edges[from] = append(g.Edges[from], to)
@@ -40,9 +66,15 @@ func (s *System) DependencyGraph() (*DepGraph, error) {
 		}
 	}
 	for _, fname := range s.funcNames {
-		qs, ok := s.funcs[fname].(*QueryService)
+		qs, ok := Innermost(s.funcs[fname]).(*QueryService)
 		if !ok {
-			return nil, fmt.Errorf("core: dependency graph needs declarative services; %q is a black box", fname)
+			if !conservative {
+				return nil, fmt.Errorf("core: dependency graph needs declarative services; %q is a black box", fname)
+			}
+			for _, d := range s.docNames {
+				add(fname, d)
+			}
+			continue
 		}
 		for _, d := range qs.Query.DocNames() {
 			if g.IsDoc[d] {
@@ -118,8 +150,17 @@ func (g *DepGraph) HasCycle() (bool, []string) {
 	return false, nil
 }
 
-// TopoOrder returns a topological order of the vertices (dependencies
-// last), or an error if the graph has a cycle.
+// TopoOrder returns a topological order of the vertices with
+// dependencies FIRST: if the graph has an edge (v, w) — v depends on w —
+// then w precedes v in the order. It errors if the graph has a cycle.
+// The post-order DFS emits a vertex only after everything it reaches,
+// which is what both consumers rely on: fire-once semantics fires the
+// calls of already-settled services first (see fireOnceOrder), and the
+// incremental scheduler seeds its worklist so upstream answers are in
+// place before downstream calls first fire. (The comment here used to
+// promise "dependencies last", contradicting the implementation; the
+// behavior was always dependencies-first and is now the contract, pinned
+// by TestTopoOrderDependenciesFirst.)
 func (g *DepGraph) TopoOrder() ([]string, error) {
 	if cyc, witness := g.HasCycle(); cyc {
 		return nil, fmt.Errorf("core: dependency graph has a cycle: %v", witness)

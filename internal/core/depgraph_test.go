@@ -1,0 +1,148 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"axml/internal/syntax"
+	"axml/internal/tree"
+)
+
+// Pins the TopoOrder contract (dependencies FIRST): for every edge
+// (v, w) — v depends on w — w precedes v. The doc comment used to claim
+// the opposite order while both consumers relied on this one; this test
+// keeps comment, code, and consumers from drifting apart again.
+func TestTopoOrderDependenciesFirst(t *testing.T) {
+	s := MustParseSystem(`
+doc base = r{v{"1"},v{"2"}}
+doc mid  = m{!copy}
+doc top  = t{!wrap}
+func copy = x{$v} :- base/r{v{$v}}
+func wrap = y{$v} :- mid/m{x{$v}}
+`)
+	g, err := s.DependencyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	if len(pos) != len(g.Edges) {
+		t.Fatalf("order %v misses vertices of %v", order, g.Edges)
+	}
+	for v, succs := range g.Edges {
+		for _, w := range succs {
+			if pos[w] >= pos[v] {
+				t.Fatalf("edge (%s, %s) but %s at %d does not precede %s at %d (order %v)",
+					v, w, w, pos[w], v, pos[v], order)
+			}
+		}
+	}
+}
+
+// A service whose definition mentions its own function name is a
+// self-loop f→f; it must surface as a cycle with the minimal witness,
+// not be missed or crash the DFS.
+func TestDepGraphSelfLoop(t *testing.T) {
+	s := MustParseSystem(`
+doc d = top{!f}
+func f = again{!f} :-
+`)
+	g, err := s.DependencyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, witness := g.HasCycle()
+	if !cyc {
+		t.Fatal("self-loop f->f not detected")
+	}
+	if !reflect.DeepEqual(witness, []string{"f", "f"}) {
+		t.Fatalf("witness = %v, want [f f]", witness)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("TopoOrder succeeded on a cyclic graph")
+	}
+	if ok, err := s.IsAcyclic(); err != nil || ok {
+		t.Fatalf("IsAcyclic = %v, %v", ok, err)
+	}
+}
+
+// Cycle witnesses must be deterministic: vertex scan and successor lists
+// are sorted, so repeated calls (and fresh graph builds) report the same
+// cycle — error messages and tests can rely on the exact witness.
+func TestDepGraphCycleWitnessDeterministic(t *testing.T) {
+	src := `
+doc d1 = top{!close}
+doc d2 = other{!close}
+func close = e{a{$x},b{$z}} :- d1/top{e{a{$x},b{$y}}}, d2/other{e{a{$y},b{$z}}}
+`
+	var want []string
+	for i := 0; i < 50; i++ {
+		g, err := MustParseSystem(src).DependencyGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc, witness := g.HasCycle()
+		if !cyc {
+			t.Fatal("cycle not detected")
+		}
+		if i == 0 {
+			want = witness
+			continue
+		}
+		if !reflect.DeepEqual(witness, want) {
+			t.Fatalf("witness changed on build %d: %v vs %v", i, witness, want)
+		}
+	}
+}
+
+// ConservativeDependencyGraph over-approximates black boxes with an edge
+// to every document, leaves declarative services exact, and coincides
+// with DependencyGraph on fully declarative systems (where the latter
+// still refuses black boxes outright).
+func TestConservativeDependencyGraph(t *testing.T) {
+	s := MustParseSystem(`
+doc a = r{!copy}
+doc b = q{x{"1"}}
+func copy = y{$v} :- b/q{x{$v}}
+`)
+	if err := s.AddService(ConstService("opaque", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDocument(tree.NewDocument("c",
+		syntax.MustParseDocument(`z{!opaque}`))); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.DependencyGraph(); err == nil {
+		t.Fatal("exact graph built despite black box")
+	}
+	g := s.ConservativeDependencyGraph()
+	if !reflect.DeepEqual(g.Edges["opaque"], []string{"a", "b", "c"}) {
+		t.Fatalf("black box edges = %v, want every document", g.Edges["opaque"])
+	}
+	if !reflect.DeepEqual(g.Edges["copy"], []string{"b"}) {
+		t.Fatalf("declarative edges = %v, want exact [b]", g.Edges["copy"])
+	}
+	if !g.IsDoc["a"] || !g.IsDoc["b"] || !g.IsDoc["c"] || g.IsDoc["copy"] || g.IsDoc["opaque"] {
+		t.Fatalf("IsDoc = %v", g.IsDoc)
+	}
+
+	decl := MustParseSystem(`
+doc a = r{!copy}
+doc b = q{x{"1"}}
+func copy = y{$v} :- b/q{x{$v}}
+`)
+	exact, err := decl.DependencyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decl.ConservativeDependencyGraph(), exact) {
+		t.Fatal("conservative graph diverges from exact graph on a declarative system")
+	}
+}

@@ -63,7 +63,8 @@ type engine struct {
 	mu              sync.Mutex // guards the fields below
 	res             RunResult
 	sterile         int // calls skipped by the version gate
-	seen            map[*tree.Node]uint64
+	deltaEvals      int // evaluations that ran semi-naively against a delta
+	seen            map[*tree.Node][]uint64
 	stop            bool // budget exhausted or fail-fast: drain, then return
 	cancelSweep     context.CancelFunc
 	changedInSweep  bool
@@ -71,6 +72,22 @@ type engine struct {
 	firedInSweep    int
 	sterileInSweep  int
 	stepsInSweep    int
+
+	// Event-driven mode (Incremental, Parallelism > 1); see incremental.go.
+	ev *eventState
+}
+
+// vectorEqual compares two version vectors element-wise.
+func vectorEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func newEngine(s *System, opts RunOptions) *engine {
@@ -108,12 +125,13 @@ func newEngine(s *System, opts RunOptions) *engine {
 		lockR0:         rw,
 		lockW0:         ww,
 		// seen gates provably-sterile re-attempts: a call attempted when
-		// the documents its service reads had version v returns the same
-		// answer as long as those versions stay v (services are
+		// the documents its service reads had versions v̄ returns the
+		// same answer as long as those versions stay v̄ (services are
 		// deterministic monotone functions of what they read). Skipping
 		// it satisfies the fairness condition (ii) of Definition 2.4 —
-		// an invocation that would not modify the system.
-		seen: make(map[*tree.Node]uint64),
+		// an invocation that would not modify the system. The recorded
+		// vector doubles as the baseline for delta evaluations.
+		seen: make(map[*tree.Node][]uint64),
 	}
 }
 
@@ -163,10 +181,11 @@ func (e *engine) run(ctx context.Context) RunResult {
 				if e.stopped() || sweepCtx.Err() != nil {
 					break
 				}
-				if !e.admit(c) {
+				prev, ok := e.admit(c)
+				if !ok {
 					continue
 				}
-				e.fire(sweepCtx, c, nil, 0)
+				e.fire(sweepCtx, c, prev, nil, 0)
 			}
 		} else {
 			// sem caps concurrent EVALUATIONS, not whole firings: a worker
@@ -181,7 +200,8 @@ func (e *engine) run(ctx context.Context) RunResult {
 				if e.stopped() || sweepCtx.Err() != nil {
 					break
 				}
-				if !e.admit(c) {
+				prev, ok := e.admit(c)
+				if !ok {
 					continue
 				}
 				slotStart := time.Now()
@@ -189,13 +209,13 @@ func (e *engine) run(ctx context.Context) RunResult {
 				slotWait := time.Since(slotStart)
 				e.slotWaitH.Observe(int64(slotWait))
 				wg.Add(1)
-				go func(c Call, slotWait time.Duration) {
+				go func(c Call, prev []uint64, slotWait time.Duration) {
 					defer wg.Done()
 					var once sync.Once
 					release := func() { once.Do(func() { <-sem }) }
 					defer release()
-					e.fire(sweepCtx, c, release, slotWait)
-				}(c, slotWait)
+					e.fire(sweepCtx, c, prev, release, slotWait)
+				}(c, prev, slotWait)
 			}
 			wg.Wait()
 		}
@@ -278,11 +298,16 @@ func (e *engine) result() RunResult {
 	res.Stats = RunStats{
 		CallsFired:   res.Attempts,
 		CallsSterile: e.sterile,
+		DeltaEvals:   e.deltaEvals,
 		Eval:         e.evalH.Snapshot(),
 		SlotWait:     e.slotWaitH.Snapshot(),
 		MergeWait:    e.mergeWaitH.Snapshot(),
 		ReaderWaits:  rw - e.lockR0,
 		WriterWaits:  ww - e.lockW0,
+	}
+	if e.ev != nil {
+		res.Stats.Enqueues = e.ev.enqueues
+		res.Stats.EnqueuesCoalesced = e.ev.coalesced
 	}
 	e.publishLocked(res)
 	return res
@@ -302,6 +327,9 @@ func (e *engine) publishLocked(res RunResult) {
 	reg.Counter("engine.calls.fired").Add(int64(res.Attempts))
 	reg.Counter("engine.calls.sterile").Add(int64(res.Stats.CallsSterile))
 	reg.Counter("engine.calls.failed").Add(int64(res.Failures))
+	reg.Counter("engine.delta_evals").Add(int64(res.Stats.DeltaEvals))
+	reg.Counter("engine.enqueues").Add(int64(res.Stats.Enqueues))
+	reg.Counter("engine.enqueues.coalesced").Add(int64(res.Stats.EnqueuesCoalesced))
 	reg.Counter("engine.lock.reader_waits").Add(int64(res.Stats.ReaderWaits))
 	reg.Counter("engine.lock.writer_waits").Add(int64(res.Stats.WriterWaits))
 	reg.Histogram("engine.eval_ns").Merge(res.Stats.Eval)
@@ -314,27 +342,31 @@ func (e *engine) publishLocked(res RunResult) {
 }
 
 // admit runs the sterile-call gate for one call and, when the call is
-// live, claims it for this sweep. The version read and the seen-map
-// update are not atomic with respect to racing merges; the race is
-// benign and one-sided — a merge landing in between leaves a stale
-// version in the map, which only makes the next sweep re-attempt a call
-// it could have skipped, never skip a call it had to attempt.
-func (e *engine) admit(c Call) bool {
-	// Version gate first (O(1)): a sterile call skips even the
+// live, claims it for this sweep, returning the version vector recorded
+// at the call's previous admission (nil for a first attempt) — the
+// baseline a delta evaluation resumes from. The version read and the
+// seen-map update are not atomic with respect to racing merges; the race
+// is benign and one-sided — a merge landing in between leaves a stale
+// vector in the map, which only makes the next sweep re-attempt a call
+// it could have skipped, never skip a call it had to attempt. (And a
+// stale baseline is a LOWER one, so the delta it requests is a superset
+// of the true delta — over-evaluation, never a missed result.)
+func (e *engine) admit(c Call) (prev []uint64, ok bool) {
+	// Version gate first (O(docs read)): a sterile call skips even the
 	// ancestor-chain validation.
 	e.s.engineMu.RLock()
-	rv := e.s.relevantVersion(c)
+	rv := e.s.relevantVersionVector(c)
 	e.s.engineMu.RUnlock()
 	e.mu.Lock()
 	if e.stop {
 		e.mu.Unlock()
-		return false
+		return nil, false
 	}
-	if last, ok := e.seen[c.Node]; ok && last == rv {
+	if last, seen := e.seen[c.Node]; seen && vectorEqual(last, rv) {
 		e.sterile++
 		e.sterileInSweep++
 		e.mu.Unlock()
-		return false
+		return nil, false
 	}
 	e.mu.Unlock()
 	// Reduction during this sweep may have pruned the node.
@@ -342,29 +374,40 @@ func (e *engine) admit(c Call) bool {
 	att := e.s.attached(c)
 	e.s.engineMu.RUnlock()
 	if !att {
-		return false
+		return nil, false
 	}
 	e.mu.Lock()
+	prev = e.seen[c.Node]
 	e.seen[c.Node] = rv
 	e.res.Attempts++
 	e.firedInSweep++
 	e.mu.Unlock()
-	return true
+	return prev, true
 }
 
 // fire evaluates one admitted call and merges its result: evaluation
 // under the read lock (concurrent), merge under the write lock (the
-// version funnel). release, when non-nil, is called as soon as the
+// version funnel). prev is the version vector admit returned; under
+// Incremental it becomes the delta baseline for a semi-naive
+// evaluation. release, when non-nil, is called as soon as the
 // evaluation is over — the expensive, capacity-limited phase — so the
 // pool can start the next evaluation while this result waits its turn
 // at the funnel. slotWait is how long the call queued for its pool slot
 // (zero on the sequential path), reported on the call span.
-func (e *engine) fire(ctx context.Context, c Call, release func(), slotWait time.Duration) {
+func (e *engine) fire(ctx context.Context, c Call, prev []uint64, release func(), slotWait time.Duration) {
 	s := e.s
+	var since map[string]uint64
+	if e.opts.Incremental {
+		if since = s.sinceFor(c, prev); since != nil {
+			e.mu.Lock()
+			e.deltaEvals++
+			e.mu.Unlock()
+		}
+	}
 	callTS := e.tracer.Now()
 	evalStart := time.Now()
 	s.engineMu.RLock()
-	forest, err := s.evaluate(ctx, c)
+	forest, err := s.evaluateSince(ctx, c, since)
 	s.engineMu.RUnlock()
 	evalDur := time.Since(evalStart)
 	e.evalH.Observe(int64(evalDur))
@@ -405,7 +448,7 @@ func (e *engine) fire(ctx context.Context, c Call, release func(), slotWait time
 	if !s.attached(c) {
 		return
 	}
-	if !s.merge(c, forest) {
+	if _, _, changed := s.merge(c, forest); !changed {
 		return
 	}
 	e.mu.Lock()
@@ -485,10 +528,14 @@ func (e *engine) stopped() bool {
 }
 
 // stopLocked (e.mu held) halts dispatch and cancels the sweep's
-// in-flight evaluations.
+// in-flight evaluations (the whole run's, in event-driven mode).
 func (e *engine) stopLocked() {
 	e.stop = true
 	if e.cancelSweep != nil {
 		e.cancelSweep()
+	}
+	if e.ev != nil && e.ev.cond != nil {
+		// Wake workers parked on the worklist so they observe the stop.
+		e.ev.cond.Broadcast()
 	}
 }

@@ -1,0 +1,604 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"axml/internal/obs"
+	"axml/internal/pattern"
+	"axml/internal/tree"
+)
+
+// This file implements the event-driven incremental engine
+// (RunOptions.Incremental with Parallelism > 1): instead of sweeping
+// every call after every change, the engine drains a worklist fed by
+// document-version events through a reverse dependency index derived
+// from the dependency graph of Definition 3.2. A merge into document d
+// wakes exactly
+//
+//   - the calls discovered inside the appended forest (they never ran);
+//   - the calls living in d whose service reads its input or context,
+//     when the merge path actually runs through their call or parent
+//     node (a merge into a sibling subtree cannot change what they see);
+//   - the calls of every service reading d by name, gated by an
+//     atom-local relevance check against the merge's delta;
+//   - every call of every black-box service (their read sets are
+//     unknown, so they conservatively subscribe to everything — the
+//     same fallback relevantDocs uses).
+//
+// Theorem 2.1 (confluence of fair monotone rewriting) licenses the
+// scheduling freedom: any order of these firings reaches the same
+// fixpoint the sweeping engine reaches. Completeness — no call left
+// sleeping while its read set moved — holds because every mutation a
+// run performs funnels through merge, and every merge wakes every call
+// whose next answer its delta could enlarge. (Out-of-band mutations —
+// Touch, Restore — are documented as requiring external synchronization
+// with in-flight runs, exactly as for the sweeping engine.)
+
+// qstate tracks a call node's position in the worklist lifecycle.
+type qstate uint8
+
+const (
+	qIdle    qstate = iota // not queued, not running (default)
+	qQueued                // in the FIFO queue
+	qRunning               // being processed by a worker
+	qDirty                 // being processed AND re-signalled: requeue after
+)
+
+// eventState is the engine's worklist and reverse-index bookkeeping,
+// guarded by engine.mu.
+type eventState struct {
+	// Reverse dependency index, fixed at run start (services are
+	// immutable during a run).
+	namedReaders map[string][]string // doc name -> funcs reading it by name
+	readsInput   map[string]bool     // funcs whose query reads "input"
+	readsContext map[string]bool     // funcs whose query reads "context"
+	blackBox     []string            // funcs with unknown read sets
+
+	// Live-call registry: every currently known call, indexed for event
+	// delivery (by function) and for post-merge cleanup (by document).
+	calls  map[*tree.Node]Call
+	byFunc map[string]map[*tree.Node]bool
+	byDoc  map[string]map[*tree.Node]bool
+
+	queue    []*tree.Node // FIFO worklist of call nodes
+	state    map[*tree.Node]qstate
+	parked   map[*tree.Node]int // consecutive failures per call (Degrade)
+	inflight int
+	cond     *sync.Cond // on engine.mu; wakes idle workers
+
+	enqueues  int // enqueue requests delivered
+	coalesced int // requests absorbed into an already-pending entry
+}
+
+func newEventState(s *System) *eventState {
+	ev := &eventState{
+		namedReaders: map[string][]string{},
+		readsInput:   map[string]bool{},
+		readsContext: map[string]bool{},
+		calls:        map[*tree.Node]Call{},
+		byFunc:       map[string]map[*tree.Node]bool{},
+		byDoc:        map[string]map[*tree.Node]bool{},
+		state:        map[*tree.Node]qstate{},
+		parked:       map[*tree.Node]int{},
+	}
+	for _, f := range s.funcNames {
+		qs := s.declarative(f)
+		if qs == nil {
+			ev.blackBox = append(ev.blackBox, f)
+			continue
+		}
+		for _, d := range qs.Query.DocNames() {
+			switch d {
+			case tree.Input:
+				ev.readsInput[f] = true
+			case tree.Context:
+				ev.readsContext[f] = true
+			default:
+				ev.namedReaders[d] = append(ev.namedReaders[d], f)
+			}
+		}
+	}
+	return ev
+}
+
+// registerLocked adds a call to the live registry (engine.mu held).
+func (ev *eventState) registerLocked(c Call) {
+	if _, ok := ev.calls[c.Node]; ok {
+		return
+	}
+	ev.calls[c.Node] = c
+	if ev.byFunc[c.Node.Name] == nil {
+		ev.byFunc[c.Node.Name] = map[*tree.Node]bool{}
+	}
+	ev.byFunc[c.Node.Name][c.Node] = true
+	if ev.byDoc[c.Doc] == nil {
+		ev.byDoc[c.Doc] = map[*tree.Node]bool{}
+	}
+	ev.byDoc[c.Doc][c.Node] = true
+}
+
+// unregisterLocked removes a pruned call from the registry (engine.mu
+// held). A queued entry stays in the FIFO; the pop skips nodes that are
+// no longer registered.
+func (ev *eventState) unregisterLocked(n *tree.Node) {
+	c, ok := ev.calls[n]
+	if !ok {
+		return
+	}
+	delete(ev.calls, n)
+	delete(ev.byFunc[c.Node.Name], n)
+	delete(ev.byDoc[c.Doc], n)
+	delete(ev.parked, n)
+}
+
+// enqueueLocked delivers one event to a call node (engine.mu held):
+// queue it if idle, mark it dirty if running, absorb the event if
+// already pending. Coalescing is what keeps the worklist linear in the
+// number of distinct woken calls rather than in the number of events.
+func (ev *eventState) enqueueLocked(n *tree.Node) {
+	ev.enqueues++
+	switch ev.state[n] {
+	case qQueued, qDirty:
+		ev.coalesced++
+	case qRunning:
+		ev.state[n] = qDirty
+		ev.coalesced++
+	default:
+		ev.state[n] = qQueued
+		ev.queue = append(ev.queue, n)
+		ev.cond.Signal()
+	}
+}
+
+// runEventDriven is the event-driven counterpart of engine.run: seed the
+// worklist with every existing call, then let the workers drain it.
+// Fixpoint = drained queue with nothing in flight; fairness holds
+// because an enqueued call is always eventually popped (FIFO) and a
+// sterile pop costs O(1) version-vector comparison.
+func (e *engine) runEventDriven(ctx context.Context) RunResult {
+	ev := newEventState(e.s)
+	ev.cond = sync.NewCond(&e.mu)
+	e.ev = ev
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.mu.Lock()
+	e.cancelSweep = cancel // stopLocked aborts in-flight evaluations
+	e.mu.Unlock()
+
+	e.s.engineMu.RLock()
+	initial := e.s.Calls()
+	e.s.engineMu.RUnlock()
+	// Seed in dependency order (dependencies first) so upstream answers
+	// tend to be in place before downstream calls first fire; the
+	// configured scheduler breaks the remaining ties.
+	e.sched.Order(initial)
+	sortCallsBy(initial, e.s.incrementalSeedOrder())
+	e.mu.Lock()
+	for _, c := range initial {
+		ev.registerLocked(c)
+		ev.enqueueLocked(c.Node)
+	}
+	e.mu.Unlock()
+
+	// Wake blocked workers when the caller cancels.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.mu.Lock()
+			ev.cond.Broadcast()
+			e.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	drainTS := e.tracer.Now()
+	drainStart := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.drainWorklist(runCtx)
+		}()
+	}
+	wg.Wait()
+	close(watchDone)
+
+	e.mu.Lock()
+	if ctx.Err() != nil && e.res.Err == nil {
+		e.res.Err = ctx.Err()
+	}
+	if !e.stop && ctx.Err() == nil && len(ev.queue) == 0 && len(ev.parked) == 0 {
+		// Drained with nothing parked: every call's read set is at its
+		// recorded version, so no invocation can change the system — the
+		// fixpoint of Definition 2.4.
+		e.res.Terminated = true
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Span{
+			Kind:  "drain",
+			TSUs:  drainTS,
+			DurUs: int64(time.Since(drainStart) / time.Microsecond),
+			Attrs: map[string]int64{
+				"enqueues":  int64(ev.enqueues),
+				"coalesced": int64(ev.coalesced),
+				"fired":     int64(e.res.Attempts),
+				"steps":     int64(e.res.Steps),
+				"sterile":   int64(e.sterile),
+				"parked":    int64(len(ev.parked)),
+			},
+		})
+	}
+	e.mu.Unlock()
+	return e.result()
+}
+
+// incrementalSeedOrder is fireOnceOrder over the conservative dependency
+// graph: a per-function priority with dependencies first, or nil when
+// the graph is cyclic (any seeding order is then as good as another).
+func (s *System) incrementalSeedOrder() map[string]int {
+	topo, err := s.ConservativeDependencyGraph().TopoOrder()
+	if err != nil {
+		return nil
+	}
+	order := make(map[string]int, len(topo))
+	for i, v := range topo {
+		if _, isFunc := s.funcs[v]; isFunc {
+			order[v] = i
+		}
+	}
+	return order
+}
+
+// drainWorklist is one worker's loop: pop, process, repeat; park on the
+// condition variable while the queue is empty but work is in flight
+// (the in-flight calls may enqueue more). All workers exit when the
+// queue is empty with nothing in flight, on stop, or on cancellation.
+func (e *engine) drainWorklist(ctx context.Context) {
+	ev := e.ev
+	for {
+		e.mu.Lock()
+		for len(ev.queue) == 0 && ev.inflight > 0 && !e.stop && ctx.Err() == nil {
+			ev.cond.Wait()
+		}
+		if e.stop || ctx.Err() != nil || (len(ev.queue) == 0 && ev.inflight == 0) {
+			ev.cond.Broadcast() // propagate the exit condition
+			e.mu.Unlock()
+			return
+		}
+		n := ev.queue[0]
+		ev.queue = ev.queue[1:]
+		c, live := ev.calls[n]
+		if !live {
+			// Unregistered (pruned) while queued; drop the stale entry.
+			delete(ev.state, n)
+			e.mu.Unlock()
+			continue
+		}
+		ev.state[n] = qRunning
+		ev.inflight++
+		e.mu.Unlock()
+
+		e.processEvent(ctx, c)
+
+		e.mu.Lock()
+		ev.inflight--
+		switch ev.state[n] {
+		case qDirty:
+			// Events arrived during processing: go around again.
+			ev.state[n] = qQueued
+			ev.queue = append(ev.queue, n)
+			ev.cond.Signal()
+		case qRunning:
+			delete(ev.state, n)
+		}
+		if ev.inflight == 0 && len(ev.queue) == 0 {
+			ev.cond.Broadcast() // drained: wake everyone to exit
+		}
+		e.mu.Unlock()
+	}
+}
+
+// processEvent is the event-driven counterpart of admit+fire for one
+// popped call: version-vector gate, semi-naive evaluation under the
+// read lock, merge under the write lock, then event fan-out through
+// afterMergeLocked. Runs without engine.mu held.
+func (e *engine) processEvent(ctx context.Context, c Call) {
+	s := e.s
+	s.engineMu.RLockFair()
+	rv := s.relevantVersionVector(c)
+	att := s.attached(c)
+	s.engineMu.RUnlock()
+	if !att {
+		e.mu.Lock()
+		e.ev.unregisterLocked(c.Node)
+		delete(e.seen, c.Node)
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	if e.stop {
+		e.mu.Unlock()
+		return
+	}
+	prev, evaluated := e.seen[c.Node]
+	if evaluated && vectorEqual(prev, rv) {
+		e.sterile++
+		e.mu.Unlock()
+		return
+	}
+	e.seen[c.Node] = rv
+	e.res.Attempts++
+	e.mu.Unlock()
+
+	since := s.sinceFor(c, prev)
+	if since != nil {
+		e.mu.Lock()
+		e.deltaEvals++
+		e.mu.Unlock()
+	}
+
+	callTS := e.tracer.Now()
+	evalStart := time.Now()
+	s.engineMu.RLockFair()
+	forest, err := s.evaluateSince(ctx, c, since)
+	s.engineMu.RUnlock()
+	evalDur := time.Since(evalStart)
+	e.evalH.Observe(int64(evalDur))
+	if e.tracer != nil {
+		span := obs.Span{
+			Kind:  "call",
+			Name:  c.Node.Name,
+			TSUs:  callTS,
+			DurUs: int64(evalDur / time.Microsecond),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		e.tracer.Emit(span)
+	}
+	if err != nil {
+		e.recordEventFailure(ctx, c, err)
+		return
+	}
+
+	mergeTS := e.tracer.Now()
+	mergeStart := time.Now()
+	s.engineMu.Lock()
+	mergeWait := time.Since(mergeStart)
+	e.mergeWaitH.Observe(int64(mergeWait))
+	defer s.engineMu.Unlock()
+	e.mu.Lock()
+	if e.stop {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.ev.parked, c.Node) // success resets the failure streak
+	e.mu.Unlock()
+	// A racing merge may have pruned the call node after our evaluation.
+	if !s.attached(c) {
+		e.mu.Lock()
+		e.ev.unregisterLocked(c.Node)
+		delete(e.seen, c.Node)
+		e.mu.Unlock()
+		return
+	}
+	fresh, path, changed := s.merge(c, forest)
+	if !changed {
+		return
+	}
+	e.mu.Lock()
+	e.res.Steps++
+	step := e.res.Steps
+	if step >= e.maxSteps {
+		e.stopLocked()
+	}
+	e.afterMergeLocked(c, fresh, path)
+	e.mu.Unlock()
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Span{
+			Kind:  "merge",
+			Name:  c.Node.Name,
+			TSUs:  mergeTS,
+			DurUs: int64(time.Since(mergeStart) / time.Microsecond),
+			Attrs: map[string]int64{
+				"wait_us": int64(mergeWait / time.Microsecond),
+				"step":    int64(step),
+			},
+		})
+	}
+	if e.opts.MaxNodes > 0 && s.Size() > e.opts.MaxNodes {
+		e.mu.Lock()
+		e.stopLocked()
+		e.mu.Unlock()
+	}
+	if e.opts.OnStep != nil {
+		// Same contract as the sweeping engine: under the write lock, in
+		// merge order; the callback must not re-enter the engine.
+		e.opts.OnStep(step, c)
+	}
+}
+
+// afterMergeLocked fans one completed merge out as events (both the
+// system write lock and engine.mu held — the index update is atomic
+// with the merge, so no event can fall between them). sinceV is the
+// pre-merge version: exactly the fresh nodes of this merge are stamped
+// above it.
+func (e *engine) afterMergeLocked(c Call, fresh tree.Forest, path []*tree.Node) {
+	s, ev := e.s, e.ev
+	sinceV := s.docVersion[c.Doc] - 1
+
+	// Progress unparks persistent failures: mirroring the sweep engine's
+	// fruitless counter, a failing call is worth retrying as long as the
+	// rest of the system still advances.
+	for n, count := range ev.parked {
+		if count >= e.maxErrorSweeps {
+			ev.enqueueLocked(n)
+		}
+	}
+	for n := range ev.parked {
+		delete(ev.parked, n)
+	}
+
+	// Reduction pruning during this merge can only have detached calls
+	// of the merged document: drop them from the registry and the gate.
+	for n := range ev.byDoc[c.Doc] {
+		lc := ev.calls[n]
+		if !s.attached(lc) {
+			ev.unregisterLocked(n)
+			delete(e.seen, n)
+		}
+	}
+
+	// New calls delivered inside the appended forest. Their ancestor
+	// chain extends the merge path, shared structurally like in Calls().
+	var attachLink *pathLink
+	for _, n := range path {
+		attachLink = &pathLink{node: n, up: attachLink}
+	}
+	var discover func(n, parent *tree.Node, up *pathLink)
+	discover = func(n, parent *tree.Node, up *pathLink) {
+		if n.Kind == tree.Func {
+			nc := Call{Doc: c.Doc, Node: n, Parent: parent, path: up}
+			ev.registerLocked(nc)
+			ev.enqueueLocked(n)
+		}
+		link := &pathLink{node: n, up: up}
+		for _, ch := range n.Children {
+			discover(ch, n, link)
+		}
+	}
+	for _, t := range fresh {
+		discover(t, c.Parent, attachLink)
+	}
+
+	// Own-document readers, scoped by the merge path: a call reading its
+	// context sees this merge only if its parent lies on root..attach
+	// (the appended forest is inside its context subtree); one reading
+	// its input only if its own node does.
+	onPath := make(map[*tree.Node]bool, len(path))
+	for _, n := range path {
+		onPath[n] = true
+	}
+	for n := range ev.byDoc[c.Doc] {
+		lc := ev.calls[n]
+		f := lc.Node.Name
+		scoped := (ev.readsContext[f] && onPath[lc.Parent]) ||
+			(ev.readsInput[f] && onPath[lc.Node])
+		if scoped && s.callLocalAtomsAffected(lc, c.Doc, sinceV) {
+			ev.enqueueLocked(n)
+		}
+	}
+
+	// Named readers of the merged document, gated by the atom-local
+	// relevance of the delta (shared across the function's calls: the
+	// named atoms match the same document root for all of them).
+	for _, f := range ev.namedReaders[c.Doc] {
+		if !s.namedAtomsAffected(f, c.Doc, sinceV) {
+			continue
+		}
+		for n := range ev.byFunc[f] {
+			ev.enqueueLocked(n)
+		}
+	}
+
+	// Black boxes subscribe to everything.
+	for _, f := range ev.blackBox {
+		for n := range ev.byFunc[f] {
+			ev.enqueueLocked(n)
+		}
+	}
+}
+
+// namedAtomsAffected reports whether any body atom of function f reading
+// document d by name has a match with a witness in the delta above
+// sinceV. It is a necessary condition without the cross-atom join: if no
+// single atom gained a witnessing embedding, the conjunction cannot have
+// gained an assignment that uses the delta, so the function's calls need
+// not wake for this merge. (A match completed by a LATER merge is woken
+// by that merge: its completing node is fresh then.)
+func (s *System) namedAtomsAffected(f, d string, sinceV uint64) bool {
+	qs := s.declarative(f)
+	if qs == nil {
+		return true
+	}
+	root := s.docs[d].Root
+	for _, a := range qs.Query.Body {
+		if a.Doc != d {
+			continue
+		}
+		for _, m := range pattern.MatchUnderSince(a.Pattern, root, nil, sinceV) {
+			if m.New {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callLocalAtomsAffected is namedAtomsAffected for the reserved atoms of
+// one concrete call: its input (the call's parameter subtrees) and its
+// context (the parent's subtree), both of which live in document d.
+func (s *System) callLocalAtomsAffected(lc Call, d string, sinceV uint64) bool {
+	qs := s.declarative(lc.Node.Name)
+	if qs == nil || lc.Doc != d {
+		return true
+	}
+	for _, a := range qs.Query.Body {
+		var target *tree.Node
+		switch a.Doc {
+		case tree.Input:
+			target = &tree.Node{Kind: tree.Label, Name: tree.Input, Children: lc.Node.Children}
+		case tree.Context:
+			target = lc.Parent
+		default:
+			continue
+		}
+		for _, m := range pattern.MatchUnderSince(a.Pattern, target, nil, sinceV) {
+			if m.New {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordEventFailure applies the error policy to a failed event-driven
+// invocation: FailFast stops the run; Degrade re-enqueues the call for
+// a retry, parking it after maxErrorSweeps consecutive failures until
+// some other call makes progress.
+func (e *engine) recordEventFailure(ctx context.Context, c Call, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stop {
+		return
+	}
+	if cause := ctx.Err(); cause != nil && errors.Is(err, cause) {
+		return
+	}
+	e.res.Failures++
+	if e.res.Errors == nil {
+		e.res.Errors = make(map[string]int)
+	}
+	e.res.Errors[c.Node.Name]++
+	if e.res.Err == nil {
+		e.res.Err = err
+	}
+	if e.opts.ErrorPolicy == FailFast {
+		e.stopLocked()
+		return
+	}
+	// Degrade: drop the gate entry so the retry re-evaluates in full —
+	// the failure may have struck after a partial read.
+	delete(e.seen, c.Node)
+	count := e.ev.parked[c.Node] + 1
+	e.ev.parked[c.Node] = count
+	if count < e.maxErrorSweeps {
+		e.ev.enqueueLocked(c.Node)
+	}
+}

@@ -86,14 +86,24 @@ func (s *System) Invoke(ctx context.Context, c Call) (changed bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	return s.merge(c, forest), nil
+	_, _, changed = s.merge(c, forest)
+	return changed, nil
 }
 
-// evaluate is the read-only half of Invoke: it validates the call, builds
-// the input/context binding over the live trees and evaluates the service.
-// The parallel engine runs it under the system's read lock, so any number
-// of evaluations proceed concurrently.
+// evaluate is the full (non-delta) evaluation of a call; see evaluateSince.
 func (s *System) evaluate(ctx context.Context, c Call) (tree.Forest, error) {
+	return s.evaluateSince(ctx, c, nil)
+}
+
+// evaluateSince is the read-only half of Invoke: it validates the call,
+// builds the input/context binding over the live trees and evaluates the
+// service. The parallel engine runs it under the system's read lock, so
+// any number of evaluations proceed concurrently. A non-nil since map
+// (per-document baseline versions, keyed by the names the service's
+// query uses, including "input"/"context") requests a semi-naive delta
+// evaluation: declarative services return only results with a witness in
+// the data appended after the baseline.
+func (s *System) evaluateSince(ctx context.Context, c Call, since map[string]uint64) (tree.Forest, error) {
 	svc := s.funcs[c.Node.Name]
 	if svc == nil {
 		return nil, fmt.Errorf("core: call to undefined service %q", c.Node.Name)
@@ -116,6 +126,7 @@ func (s *System) evaluate(ctx context.Context, c Call) (tree.Forest, error) {
 		Input:   input,
 		Context: attach,
 		Docs:    s.Docs(),
+		Since:   since,
 	}
 	forest, err := svc.Invoke(ctx, b)
 	if err != nil {
@@ -131,13 +142,18 @@ func (s *System) evaluate(ctx context.Context, c Call) (tree.Forest, error) {
 // "version funnel" through which every result lands. Merging is a least
 // upper bound, so the order in which racing results arrive does not
 // affect the reachable fixpoint (Theorem 2.1).
-func (s *System) merge(c Call, forest tree.Forest) (changed bool) {
+//
+// On growth it returns the appended trees (stamped with the post-bump
+// document version, so later delta evaluations see them as new) and the
+// ancestor path root..attach, which the incremental scheduler uses to
+// discover new calls and scope its re-enqueues.
+func (s *System) merge(c Call, forest tree.Forest) (fresh tree.Forest, path []*tree.Node, changed bool) {
 	attach := c.Parent
 	doc := s.docs[c.Doc]
 	// Results subsumed by existing siblings cannot change the document.
-	fresh := reduceForestAgainst(attach, subsume.ReduceForest(forest))
+	fresh = reduceForestAgainst(attach, subsume.ReduceForest(forest))
 	if len(fresh) == 0 {
-		return false
+		return nil, nil, false
 	}
 	// Localized append-and-reduce. Documents are maintained reduced (no
 	// subtree subsumed by a sibling, recursively), and under that
@@ -169,7 +185,7 @@ func (s *System) merge(c Call, forest tree.Forest) (changed bool) {
 	}
 	attach.Children = append(kept, fresh...)
 
-	path := c.Ancestors()
+	path = c.Ancestors()
 	if len(path) == 0 || path[len(path)-1] != attach {
 		path = s.findPath(doc.Root, attach)
 	}
@@ -185,16 +201,32 @@ func (s *System) merge(c Call, forest tree.Forest) (changed bool) {
 		ancestor.Children = pruned
 	}
 	s.bumpVersion(c.Doc)
-	return true
+	// Stamp the appended trees with the post-bump version: a later delta
+	// evaluation with a baseline at or above the pre-bump version sees
+	// exactly these nodes as its delta.
+	v := s.docVersion[c.Doc]
+	for _, f := range fresh {
+		f.StampAll(v)
+	}
+	return fresh, path, true
 }
 
-// relevantVersion sums the versions of the documents whose content can
-// influence the call's next answer: for positive services, the documents
+// declarative resolves the named service to its innermost QueryService,
+// unwrapping middleware decorations; it returns nil for black boxes.
+func (s *System) declarative(name string) *QueryService {
+	qs, _ := Innermost(s.funcs[name]).(*QueryService)
+	return qs
+}
+
+// relevantDocs returns the names of the documents whose content can
+// influence the call's next answer, deduplicated, in a deterministic
+// order (query first-occurrence order for positive services, system
+// insertion order for black boxes): for positive services, the documents
 // their defining query reads (input and context both live inside the
 // call's own document); for black boxes, every document.
-func (s *System) relevantVersion(c Call) uint64 {
-	var sum uint64
-	if qs, ok := s.funcs[c.Node.Name].(*QueryService); ok {
+func (s *System) relevantDocs(c Call) []string {
+	if qs := s.declarative(c.Node.Name); qs != nil {
+		var out []string
 		seenOwn := false
 		for _, d := range qs.Query.DocNames() {
 			if d == tree.Input || d == tree.Context {
@@ -206,14 +238,65 @@ func (s *System) relevantVersion(c Call) uint64 {
 				}
 				seenOwn = true
 			}
-			sum += s.docVersion[d]
+			out = append(out, d)
 		}
-		return sum
+		return out
 	}
-	for _, d := range s.docNames {
-		sum += s.docVersion[d]
+	return s.docNames
+}
+
+// relevantVersionVector returns the per-document versions of the call's
+// relevant documents, aligned with relevantDocs. The engine's sterile-
+// call gate compares whole vectors: unlike the version *sum* this
+// replaces, distinct states never alias (a sum is blind to one document
+// advancing while another is restored from a lower-versioned snapshot,
+// and wraps silently), and the vector doubles as the baseline a delta
+// evaluation resumes from, which needs to know WHICH document moved.
+func (s *System) relevantVersionVector(c Call) []uint64 {
+	docs := s.relevantDocs(c)
+	vec := make([]uint64, len(docs))
+	for i, d := range docs {
+		vec[i] = s.docVersion[d]
 	}
-	return sum
+	return vec
+}
+
+// sinceFor converts the version vector recorded at the call's previous
+// evaluation into the per-atom-name baseline map a delta evaluation
+// needs: every document name the defining query uses (including the
+// reserved input/context, which resolve to the call's own document) is
+// mapped to its baseline version. It returns nil — full evaluation —
+// for black boxes and for vectors that do not match the current
+// relevant-document list.
+func (s *System) sinceFor(c Call, prev []uint64) map[string]uint64 {
+	if prev == nil {
+		return nil
+	}
+	qs := s.declarative(c.Node.Name)
+	if qs == nil {
+		return nil
+	}
+	docs := s.relevantDocs(c)
+	if len(prev) != len(docs) {
+		return nil
+	}
+	byDoc := make(map[string]uint64, len(docs))
+	for i, d := range docs {
+		byDoc[d] = prev[i]
+	}
+	since := make(map[string]uint64, len(qs.Query.DocNames()))
+	for _, d := range qs.Query.DocNames() {
+		name := d
+		if d == tree.Input || d == tree.Context {
+			// Input and context are subtrees of the call's own document,
+			// so they share its baseline (exactly as in relevantDocs).
+			name = c.Doc
+		}
+		if v, ok := byDoc[name]; ok {
+			since[d] = v
+		}
+	}
+	return since
 }
 
 // findPath recomputes the ancestor chain root..target for calls built
@@ -323,8 +406,24 @@ type RunOptions struct {
 	// 0 means unbounded.
 	MaxNodes int
 	// MaxSweeps stops after that many completed sweeps; 0 means
-	// unbounded. One sweep attempts every call present at its start.
+	// unbounded. One sweep attempts every call present at its start. The
+	// event-driven engine (Incremental with Parallelism > 1) has no
+	// sweeps and ignores it.
 	MaxSweeps int
+	// Incremental enables dependency-driven semi-naive evaluation:
+	// declarative services are re-evaluated only against the data
+	// appended since their call's last attempt (per-node version stamps,
+	// see tree.Node.Stamp), instead of against whole documents. At
+	// Parallelism 1 the deterministic sweep loop is kept as the
+	// scheduling policy and only the evaluations become incremental; at
+	// Parallelism > 1 the sweeps are replaced by an event-driven
+	// scheduler that drains a worklist fed by document-version events
+	// through the reverse dependency index (black boxes conservatively
+	// subscribe to every document). Theorem 2.1 — the fixpoint is
+	// independent of the firing order — licenses both: the reachable
+	// state is identical to the sweeping engine's, only the work to get
+	// there shrinks to the size of the deltas.
+	Incremental bool
 	// ErrorPolicy selects fail-fast (zero value) or degraded handling of
 	// service errors.
 	ErrorPolicy ErrorPolicy
@@ -393,6 +492,16 @@ type RunStats struct {
 	// had not moved since their last attempt, so re-firing provably
 	// returns nothing new.
 	CallsSterile int
+	// DeltaEvals counts evaluations that ran semi-naively against the
+	// delta since the call's previous baseline instead of against whole
+	// documents (only under RunOptions.Incremental, and only from the
+	// second evaluation of a call on).
+	DeltaEvals int
+	// Enqueues and EnqueuesCoalesced count, for the event-driven engine,
+	// the worklist enqueues performed and the enqueues absorbed into an
+	// already-pending entry; both zero for the sweeping engine.
+	Enqueues          int
+	EnqueuesCoalesced int
 	// Eval is the service-evaluation latency histogram (ns).
 	Eval obs.HistSnapshot
 	// SlotWait is the time each admitted call waited for a worker-pool
@@ -439,6 +548,9 @@ func (s *System) Run(opts RunOptions) RunResult {
 // responsibility, exactly as for the sequential engine.
 func (s *System) RunContext(ctx context.Context, opts RunOptions) RunResult {
 	e := newEngine(s, opts)
+	if opts.Incremental && e.workers > 1 {
+		return e.runEventDriven(ctx)
+	}
 	return e.run(ctx)
 }
 
@@ -446,7 +558,7 @@ func (s *System) RunContext(ctx context.Context, opts RunOptions) RunResult {
 // to any document: reduction prunes subtrees (and the call nodes inside
 // them) for good, so without this the gate map grows without bound over a
 // long run. Called at sweep boundaries with the fresh call snapshot.
-func purgeSeen(seen map[*tree.Node]uint64, live []Call) {
+func purgeSeen(seen map[*tree.Node][]uint64, live []Call) {
 	if len(seen) == 0 {
 		return
 	}

@@ -113,7 +113,7 @@ func TestDegradeGivesUpOnPermanentFailure(t *testing.T) {
 func TestPurgeSeenDropsDetachedNodes(t *testing.T) {
 	kept := tree.NewFunc("f")
 	pruned := tree.NewFunc("g")
-	seen := map[*tree.Node]uint64{kept: 1, pruned: 2}
+	seen := map[*tree.Node][]uint64{kept: {1}, pruned: {2}}
 	purgeSeen(seen, []Call{{Node: kept}})
 	if len(seen) != 1 {
 		t.Fatalf("seen = %d entries", len(seen))

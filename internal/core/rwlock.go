@@ -27,11 +27,18 @@ import (
 // over it, but the stream ends with the sweep (and every sweep ends:
 // its call list is fixed at sweep start), at which point readers drain
 // to zero and all queued merges land before the sweep barrier releases.
+//
+// The event-driven engine has no sweep barrier — its evaluation stream
+// is continuous — so its read side must not starve merges: it acquires
+// through RLockFair, which also waits out QUEUED writers. The two read
+// disciplines share one lock safely; fairness is a property of the
+// acquisition, not the lock state.
 type rwLock struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // lazily bound to mu; access only with mu held
 	readers int
 	writer  bool
+	queued  int // writers waiting in Lock; blocks RLockFair only
 
 	// Contention counters: acquisitions that had to wait. Always on —
 	// they cost one uncontended atomic add on the slow path only — and
@@ -83,15 +90,35 @@ func (l *rwLock) RUnlock() {
 	l.mu.Unlock()
 }
 
+// RLockFair acquires the read side like RLock but also waits out queued
+// writers, trading the sweep engine's throughput preference for the
+// bounded merge latency the event-driven engine needs: without it, the
+// continuous evaluation stream starves every merge until the worklist
+// happens to run dry (measured as multi-sweep-length merge waits on
+// latency-bound workloads).
+func (l *rwLock) RLockFair() {
+	l.mu.Lock()
+	if l.writer || l.queued > 0 {
+		l.rWaits.Add(1)
+	}
+	for l.writer || l.queued > 0 {
+		l.c().Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
 // Lock acquires the write side: exclusive against readers and writers.
 func (l *rwLock) Lock() {
 	l.mu.Lock()
 	if l.writer || l.readers > 0 {
 		l.wWaits.Add(1)
 	}
+	l.queued++
 	for l.writer || l.readers > 0 {
 		l.c().Wait()
 	}
+	l.queued--
 	l.writer = true
 	l.mu.Unlock()
 }

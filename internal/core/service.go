@@ -35,6 +35,18 @@ type Binding struct {
 	// this by construction (matching is read-only, instantiation
 	// copies); custom GoServices must copy anything they retain.
 	Docs query.Docs
+	// Since, when non-nil, asks for a semi-naive (delta) evaluation: it
+	// maps each document name the service's query may read — including
+	// the reserved "input" and "context" — to the version the call was
+	// last evaluated against. Declarative services then return only
+	// results with a witness in the delta appended since (per-node
+	// version stamps, see tree.Node.Stamp); monotone services already
+	// merged everything older. Names missing from the map are treated as
+	// all-new. Black boxes are free to ignore Since — returning the full
+	// forest is always correct, merging is idempotent. Middleware must
+	// pass the binding through unchanged so wrapped declarative services
+	// still see their baseline.
+	Since map[string]uint64
 }
 
 // docs returns the full θ binding including the reserved names.
@@ -97,12 +109,15 @@ func (s *QueryService) ServiceName() string { return s.Query.Name }
 
 // Invoke evaluates the defining query's snapshot semantics on the binding.
 // Evaluation is pure and never blocks, so the context is only consulted on
-// entry: an already-cancelled invocation is skipped.
+// entry: an already-cancelled invocation is skipped. When the binding
+// carries a Since baseline, only the delta results are computed and
+// returned (semi-naive evaluation); monotonicity (Proposition 3.1) makes
+// the omitted old results redundant — they were merged at the baseline.
 func (s *QueryService) Invoke(ctx context.Context, b Binding) (tree.Forest, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return query.Snapshot(s.Query, b.docs())
+	return query.SnapshotSince(s.Query, b.docs(), b.Since)
 }
 
 // IsSimple reports whether the defining query is simple (no tree

@@ -166,12 +166,17 @@ func (s *System) Docs() query.Docs {
 
 // Touch records an out-of-band mutation of the named document (a replica
 // sync, a pushed forest, a by-hand edit), bumping its version so the
-// sterile-call gate re-examines services that read it. Unknown names are
-// ignored.
+// sterile-call gate re-examines services that read it. The whole
+// document is restamped at the new version: an out-of-band edit gives no
+// delta bookkeeping, so the only sound baseline for later incremental
+// evaluations is "everything here is new". Unknown names are ignored.
 func (s *System) Touch(name string) {
-	if _, ok := s.docs[name]; ok {
-		s.bumpVersion(name)
+	doc, ok := s.docs[name]
+	if !ok {
+		return
 	}
+	s.bumpVersion(name)
+	doc.Root.StampAll(s.docVersion[name])
 }
 
 // SetMutationHook registers fn to be called with the document name on
@@ -230,6 +235,10 @@ func (s *System) Restore(name string, root *tree.Node) (changed bool, err error)
 		return false, nil
 	}
 	s.bumpVersion(name)
+	// Union can splice surviving old nodes under restructured parents,
+	// which would break the stamp ordering delta evaluation relies on;
+	// restamp the whole document conservatively (full delta).
+	doc.Root.StampAll(s.docVersion[name])
 	return true, nil
 }
 

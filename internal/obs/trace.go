@@ -15,6 +15,9 @@ import (
 // Kinds emitted by the instrumented layers:
 //
 //	sweep   one engine sweep          (attrs: pending, fired, sterile, steps, failures)
+//	drain   one event-driven worklist drain, sweep-equivalent for the
+//	        incremental engine  (attrs: enqueues, coalesced, fired,
+//	        sterile, steps, parked)
 //	call    one service evaluation    (name = service; attrs: wait_us = pool-slot wait)
 //	merge   one result merge          (attrs: wait_us = funnel wait; step)
 //	sync    one mirror sync           (name = local doc; attrs: changed)

@@ -425,6 +425,87 @@ func bindAtom(name, atom string, asn Assignment) (Assignment, bool) {
 	return next, true
 }
 
+// Stamped is an assignment annotated with whether any witnessing
+// embedding touches a node stamped after the caller's baseline version.
+// Semi-naive evaluation keeps only the New assignments: an assignment
+// whose every witness lies entirely in the old part of the document was
+// already derivable at the baseline (appends only add fresh-stamped
+// nodes and reduction pruning is permanent).
+type Stamped struct {
+	Asn Assignment
+	New bool
+}
+
+// MatchUnderSince is MatchUnder with freshness tracking: each returned
+// assignment carries New=true iff some embedding witnessing it maps a
+// pattern node onto a document node with Stamp > since (for tree
+// variables, onto a subtree whose MaxStamp exceeds since). With since=0
+// and an unstamped document, every assignment is old.
+func MatchUnderSince(p *Node, d *tree.Node, base Assignment, since uint64) []Stamped {
+	if p == nil || d == nil {
+		return nil
+	}
+	if base == nil {
+		base = Assignment{}
+	}
+	return dedupStamped(matchNodeSince(p, d, Stamped{Asn: base}, since))
+}
+
+// dedupStamped deduplicates by assignment key, OR-ing the New flags: an
+// assignment is new iff at least one of its witnessing embeddings is.
+func dedupStamped(as []Stamped) []Stamped {
+	idx := make(map[string]int, len(as))
+	out := as[:0]
+	for _, a := range as {
+		k := a.Asn.Key()
+		if i, ok := idx[k]; ok {
+			if a.New {
+				out[i].New = true
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, a)
+	}
+	return out
+}
+
+func matchNodeSince(p *Node, d *tree.Node, st Stamped, since uint64) []Stamped {
+	next, ok := bindMarking(p, d, st.Asn)
+	if !ok {
+		return nil
+	}
+	fresh := st.New
+	if p.Kind == VarTree {
+		// The bound value is the whole subtree: it is fresh if any of
+		// its nodes arrived after the baseline.
+		if d.MaxStamp() > since {
+			fresh = true
+		}
+		return []Stamped{{Asn: next, New: fresh}}
+	}
+	if d.Stamp > since {
+		fresh = true
+	}
+	return matchChildrenSince(p.Children, d, []Stamped{{Asn: next, New: fresh}}, since)
+}
+
+func matchChildrenSince(pcs []*Node, d *tree.Node, sts []Stamped, since uint64) []Stamped {
+	for _, pc := range pcs {
+		var extended []Stamped
+		for _, st := range sts {
+			for _, dc := range d.Children {
+				extended = append(extended, matchNodeSince(pc, dc, st, since)...)
+			}
+		}
+		if len(extended) == 0 {
+			return nil
+		}
+		sts = dedupStamped(extended)
+	}
+	return sts
+}
+
 // Instantiate applies the assignment to a head pattern, producing the tree
 // µ(r). Every variable of the head must be bound; tree-variable bindings
 // are deep-copied into the result.

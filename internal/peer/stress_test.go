@@ -117,3 +117,72 @@ func TestConcurrentRunsStress(t *testing.T) {
 		t.Fatalf("concurrent fixpoint diverged from sequential reference:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestIncrementalPeerWorkloadDigests pins the incremental engine to the
+// sequential fixpoint on the peer workload: remote services over real
+// HTTP (hardened black boxes, which the event-driven scheduler must
+// conservatively re-wake) mixed with local declarative and constant
+// services, at every parallelism level.
+func TestIncrementalPeerWorkloadDigests(t *testing.T) {
+	backendSys := core.NewSystem()
+	if err := backendSys.AddService(core.ConstService("Remote",
+		tree.Forest{syntax.MustParseDocument(`remote{score{"9"}}`)})); err != nil {
+		t.Fatal(err)
+	}
+	backend := New("backend", backendSys)
+	srv := httptest.NewServer(backend.Handler())
+	defer srv.Close()
+
+	const items = 8
+	var b strings.Builder
+	b.WriteString("jobs{")
+	for i := 0; i < items; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `item{name{"i%d"},!Remote,!Tag}`, i)
+	}
+	b.WriteString("}")
+	build := func(remote core.Service) *core.System {
+		s := core.NewSystem()
+		if err := s.AddDocument(tree.NewDocument("d", syntax.MustParseDocument(b.String()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddService(remote); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddService(core.ConstService("Tag",
+			tree.Forest{syntax.MustParseDocument(`tag{"ok"}`)})); err != nil {
+			t.Fatal(err)
+		}
+		q := syntax.MustParseQuery(`seen{$n} :- d/jobs{item{name{$n},tag{"ok"}}}`)
+		q.Name = "Audit"
+		if err := s.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddDocument(tree.NewDocument("audit",
+			syntax.MustParseDocument(`a{!Audit}`))); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	ref := build(core.ConstService("Remote",
+		tree.Forest{syntax.MustParseDocument(`remote{score{"9"}}`)}))
+	if res := ref.Run(core.RunOptions{Parallelism: 1}); !res.Terminated {
+		t.Fatalf("reference run: %+v", res)
+	}
+	want := ref.CanonicalString()
+
+	for _, par := range []int{1, 2, 4, 8} {
+		s := build(core.Harden(&RemoteService{Name: "Remote", URL: srv.URL},
+			core.HardenOptions{Attempts: 4, BaseDelay: time.Millisecond}))
+		res := s.Run(core.RunOptions{Parallelism: par, Incremental: true})
+		if res.Err != nil || !res.Terminated {
+			t.Fatalf("incremental parallelism %d: %+v", par, res)
+		}
+		if got := s.CanonicalString(); got != want {
+			t.Fatalf("parallelism %d diverged:\n%s\nwant:\n%s", par, got, want)
+		}
+	}
+}

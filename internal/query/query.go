@@ -244,6 +244,91 @@ func Snapshot(q *Query, docs Docs) (tree.Forest, error) {
 	return subsume.ReduceForest(out), nil
 }
 
+// SnapshotSince is Snapshot restricted to the delta: it instantiates only
+// the body assignments with at least one witnessing embedding that
+// touches a node stamped after the per-document baseline in since (keyed
+// by atom document name, including the reserved "input"/"context"). A
+// document name missing from since is treated as all-new (full
+// re-evaluation for its atoms). A nil since is exactly Snapshot. By
+// monotonicity (Proposition 3.1), assignments whose every witness is old
+// were already produced at the baseline, so skipping them loses nothing.
+func SnapshotSince(q *Query, docs Docs, since map[string]uint64) (tree.Forest, error) {
+	if since == nil {
+		return Snapshot(q, docs)
+	}
+	sts, err := bodyAssignmentsSince(q, docs, since)
+	if err != nil {
+		return nil, err
+	}
+	var out tree.Forest
+	for _, st := range sts {
+		if !st.New {
+			continue
+		}
+		t, err := pattern.Instantiate(q.Head, st.Asn)
+		if err != nil {
+			return nil, fmt.Errorf("query %s: %w", q.Name, err)
+		}
+		out = append(out, t)
+	}
+	return subsume.ReduceForest(out), nil
+}
+
+// bodyAssignmentsSince is BodyAssignments with per-assignment freshness:
+// the New flag of each result reports whether some witnessing embedding
+// maps a pattern node onto a document node appended after the baseline
+// version of that atom's document.
+func bodyAssignmentsSince(q *Query, docs Docs, since map[string]uint64) ([]pattern.Stamped, error) {
+	sts := []pattern.Stamped{{Asn: pattern.Assignment{}}}
+	for _, a := range q.Body {
+		doc := docs[a.Doc]
+		if doc == nil {
+			return nil, nil
+		}
+		base, known := since[a.Doc]
+		var next []pattern.Stamped
+		for _, st := range sts {
+			for _, m := range pattern.MatchUnderSince(a.Pattern, doc, st.Asn, base) {
+				// An unknown baseline makes every match of this atom new
+				// (conservative full re-evaluation for this conjunct).
+				next = append(next, pattern.Stamped{Asn: m.Asn, New: st.New || m.New || !known})
+			}
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		sts = dedupStamped(next)
+	}
+	out := sts[:0]
+	for _, st := range sts {
+		ok, err := satisfiesIneqs(q, st.Asn)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, st)
+		}
+	}
+	return out, nil
+}
+
+func dedupStamped(as []pattern.Stamped) []pattern.Stamped {
+	idx := make(map[string]int, len(as))
+	out := as[:0]
+	for _, a := range as {
+		k := a.Asn.Key()
+		if i, ok := idx[k]; ok {
+			if a.New {
+				out[i].New = true
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, a)
+	}
+	return out
+}
+
 // BodyAssignments computes every assignment satisfying the body and the
 // inequalities, restricted to the variables, deduplicated.
 func BodyAssignments(q *Query, docs Docs) ([]pattern.Assignment, error) {

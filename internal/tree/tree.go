@@ -54,6 +54,12 @@ type Node struct {
 	Name string
 	// Children are the children subtrees, an unordered multiset.
 	Children []*Node
+	// Stamp is the document version at which this node was appended (or
+	// last restamped). Stamps order nodes by arrival so incremental
+	// evaluation can restrict matching to the delta appended after a
+	// baseline version; they carry no tree semantics and are ignored by
+	// comparison operations. Zero means "present since the initial state".
+	Stamp uint64
 }
 
 // NewLabel returns a data node labeled name with the given children.
@@ -106,7 +112,7 @@ func (n *Node) Copy() *Node {
 	if n == nil {
 		return nil
 	}
-	c := &Node{Kind: n.Kind, Name: n.Name}
+	c := &Node{Kind: n.Kind, Name: n.Name, Stamp: n.Stamp}
 	if len(n.Children) > 0 {
 		c.Children = make([]*Node, len(n.Children))
 		for i, ch := range n.Children {
@@ -114,6 +120,33 @@ func (n *Node) Copy() *Node {
 		}
 	}
 	return c
+}
+
+// StampAll sets the Stamp of every node in the subtree to v.
+func (n *Node) StampAll(v uint64) {
+	if n == nil {
+		return
+	}
+	n.Stamp = v
+	for _, c := range n.Children {
+		c.StampAll(v)
+	}
+}
+
+// MaxStamp returns the largest Stamp in the subtree rooted at n: the
+// version at which the subtree's value (as an unordered tree) last
+// changed by an append.
+func (n *Node) MaxStamp() uint64 {
+	if n == nil {
+		return 0
+	}
+	m := n.Stamp
+	for _, c := range n.Children {
+		if cm := c.MaxStamp(); cm > m {
+			m = cm
+		}
+	}
+	return m
 }
 
 // Size returns the number of nodes in the subtree rooted at n.

@@ -71,12 +71,19 @@ func jazzBenchSystem(cds int) *axml.System {
 }
 
 func BenchmarkRunParallel(b *testing.B) {
+	// The -incr variants run the same systems under the incremental
+	// engine (semi-naive deltas; event-driven worklist above one worker):
+	// `fired` and `mergewait_p99_ns` against the plain rows measure how
+	// much re-firing and funnel traffic the reverse index eliminates.
 	workloads := []struct {
-		name string
-		mk   func() *axml.System
+		name        string
+		mk          func() *axml.System
+		incremental bool
 	}{
-		{"graph", func() *axml.System { return latencyWrap(graphBenchSystem(64), benchLatency) }},
-		{"jazz", func() *axml.System { return latencyWrap(jazzBenchSystem(48), benchLatency) }},
+		{"graph", func() *axml.System { return latencyWrap(graphBenchSystem(64), benchLatency) }, false},
+		{"jazz", func() *axml.System { return latencyWrap(jazzBenchSystem(48), benchLatency) }, false},
+		{"graph-incr", func() *axml.System { return latencyWrap(graphBenchSystem(64), benchLatency) }, true},
+		{"jazz-incr", func() *axml.System { return latencyWrap(jazzBenchSystem(48), benchLatency) }, true},
 	}
 	for _, wl := range workloads {
 		// The fixpoint every parallelism level must reproduce.
@@ -92,7 +99,7 @@ func BenchmarkRunParallel(b *testing.B) {
 					b.StopTimer()
 					s := wl.mk()
 					b.StartTimer()
-					res := s.Run(axml.RunOptions{Parallelism: par})
+					res := s.Run(axml.RunOptions{Parallelism: par, Incremental: wl.incremental})
 					if res.Err != nil || !res.Terminated {
 						b.Fatalf("run: %+v", res)
 					}
@@ -108,6 +115,7 @@ func BenchmarkRunParallel(b *testing.B) {
 				// that it went: bench-json.sh folds these extra columns
 				// into BENCH_parallel.json.
 				b.ReportMetric(float64(st.CallsFired), "fired")
+				b.ReportMetric(float64(st.DeltaEvals), "delta_evals")
 				b.ReportMetric(float64(st.Eval.P99), "eval_p99_ns")
 				b.ReportMetric(float64(st.SlotWait.P99), "slotwait_p99_ns")
 				b.ReportMetric(float64(st.MergeWait.P99), "mergewait_p99_ns")

@@ -1,19 +1,91 @@
 #!/bin/sh
-# bench-compare.sh — compare two saved `go test -bench` outputs.
+# bench-compare.sh — compare two saved benchmark results.
 #
-# Usage: scripts/bench-compare.sh old.bench new.bench
+# Usage:
+#   scripts/bench-compare.sh old.bench new.bench
+#   scripts/bench-compare.sh -check baseline.json candidate.json
 #
-# The inputs are raw `go test -bench` outputs (what `make bench` leaves
-# in bench.out), so they are directly benchstat-compatible: if benchstat
-# is installed it does the statistics; otherwise a plain paired ns/op
-# comparison is printed.
+# Without -check the inputs are raw `go test -bench` outputs (what
+# `make bench` leaves in bench.out), so they are directly
+# benchstat-compatible: if benchstat is installed it does the
+# statistics; otherwise a plain paired ns/op comparison is printed.
+#
+# With -check the inputs are BENCH_parallel.json trajectory files and
+# the script is a regression GATE (`make bench-check`): it exits 1 when
+# any workload/parallelism present in both files regresses by more than
+# 20% on ns_per_op or on mergewait_p99_ns. Workloads or levels absent
+# from the baseline are reported as new and never fail the gate, so
+# adding a benchmark does not require regenerating the baseline in the
+# same change. Merge-wait comparisons whose candidate sits under 10ms
+# are skipped: down there the p99 is one histogram bucket of scheduler
+# noise, not a funnel signal — but a candidate ABOVE the floor is gated
+# even against a tiny baseline, which is exactly what writer starvation
+# at the version funnel looks like.
 set -eu
 
+check=0
+if [ "${1-}" = "-check" ]; then
+    check=1
+    shift
+fi
 if [ $# -ne 2 ]; then
-    echo "usage: $0 old.bench new.bench" >&2
+    echo "usage: $0 [-check] old new" >&2
     exit 2
 fi
 old=$1 new=$2
+
+if [ "$check" = 1 ]; then
+    awk -v tol=0.20 -v floor=10000000 '
+    # One BENCH_parallel.json record per "parallelism-N" line, nested
+    # one level under its workload name.
+    /^[[:space:]]*"[^"]+": \{$/ {
+        wl = $1
+        gsub(/[":{]/, "", wl)
+    }
+    /"parallelism-[0-9]+":/ {
+        line = $0
+        par = line
+        sub(/.*"parallelism-/, "", par); sub(/":.*/, "", par)
+        key = wl "/" par
+        if (match(line, /"ns_per_op": *[0-9.e+-]+/)) {
+            v = substr(line, RSTART, RLENGTH); sub(/.*: */, "", v)
+            nsop[file, key] = v + 0
+        }
+        if (match(line, /"mergewait_p99_ns": *[0-9.e+-]+/)) {
+            v = substr(line, RSTART, RLENGTH); sub(/.*: */, "", v)
+            mw[file, key] = v + 0
+        }
+        if (file == 2 && !((1, key) in nsop)) {
+            printf "new (not gated): %s\n", key
+        }
+        if (file == 2) { keys[++n] = key }
+    }
+    FNR == 1 { file++ }
+    END {
+        fail = 0
+        for (i = 1; i <= n; i++) {
+            key = keys[i]
+            if (!((1, key) in nsop)) continue
+            o = nsop[1, key]; c = nsop[2, key]
+            printf "%-28s ns_per_op %14d -> %14d (%+.1f%%)\n", key, o, c, (c - o) / o * 100
+            if (c > o * (1 + tol)) {
+                printf "FAIL %s: ns_per_op regressed more than %.0f%%\n", key, tol * 100
+                fail = 1
+            }
+            if ((1, key) in mw && (2, key) in mw) {
+                o = mw[1, key]; c = mw[2, key]
+                if (c < floor) continue
+                printf "%-28s mergewait %14d -> %14d (%+.1f%%)\n", key, o, c, (o ? (c - o) / o * 100 : 0)
+                if (c > o * (1 + tol)) {
+                    printf "FAIL %s: mergewait_p99_ns regressed more than %.0f%%\n", key, tol * 100
+                    fail = 1
+                }
+            }
+        }
+        exit fail
+    }' "$old" "$new"
+    exit $?
+fi
 
 if command -v benchstat >/dev/null 2>&1; then
     exec benchstat "$old" "$new"
