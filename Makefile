@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke bench bench-compare bench-check verify
+.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke bench bench-tree bench-compare bench-check verify
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,12 @@ race:
 	$(GO) test -race ./...
 
 # Short-budget coverage-guided fuzzing of the wire parsers journal replay
-# depends on (go test -fuzz takes one target per run).
+# depends on, plus the intern/digest cache stability target (go test
+# -fuzz takes one target per run).
 fuzz-smoke:
 	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalTree$$' -fuzztime=5s
 	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=5s
+	$(GO) test ./internal/tree -run='^$$' -fuzz='^FuzzSymDigestStability$$' -fuzztime=5s
 
 # The parallel-engine speedup benchmark: raw output lands in bench.out
 # (benchstat-compatible, see bench-compare), the JSON trajectory point
@@ -49,21 +51,32 @@ bench:
 	scripts/bench-json.sh < bench.out > BENCH_parallel.json
 	@echo wrote BENCH_parallel.json
 
+# The million-node interning/indexing benchmarks (pattern match,
+# Subsumed, Reduce, Union — fast vs naive, with -benchmem allocation
+# profiles). The JSON trajectory point lands in BENCH_tree.json.
+bench-tree:
+	$(GO) test -run '^$$' -bench 'BenchmarkTree$$' -benchmem -benchtime 3x -count 1 -timeout 30m . | tee bench.tree.out
+	scripts/bench-json.sh -tree < bench.tree.out > BENCH_tree.json
+	@echo wrote BENCH_tree.json
+
 # Compare two saved bench.out files: make bench-compare OLD=a.out NEW=b.out
 OLD ?= bench.old
 NEW ?= bench.out
 bench-compare:
 	scripts/bench-compare.sh $(OLD) $(NEW)
 
-# Regression gate: re-run the benchmark and fail if ns_per_op or
-# mergewait_p99_ns regresses more than 20% against the committed
-# BENCH_parallel.json (workloads absent from the baseline pass — adding
-# a benchmark does not require regenerating the baseline in the same
-# change).
+# Regression gate: re-run the benchmarks and fail if ns_per_op,
+# allocs_per_op or mergewait_p99_ns regresses more than 20% against the
+# committed BENCH_parallel.json / BENCH_tree.json baselines (workloads
+# absent from a baseline pass — adding a benchmark does not require
+# regenerating the baseline in the same change).
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkRunParallel -benchtime 5x -count 1 . > bench.check.out
 	scripts/bench-json.sh < bench.check.out > bench.check.json
 	scripts/bench-compare.sh -check BENCH_parallel.json bench.check.json
+	$(GO) test -run '^$$' -bench 'BenchmarkTree$$' -benchmem -benchtime 3x -count 1 -timeout 30m . > bench.check.out
+	scripts/bench-json.sh -tree < bench.check.out > bench.check.json
+	scripts/bench-compare.sh -check BENCH_tree.json bench.check.json
 	@rm -f bench.check.out bench.check.json
 
 # Tier-1 verify: build + tests, extended with gofmt, go vet (test files

@@ -59,6 +59,8 @@ type engine struct {
 	mergeWaitH *obs.Histogram
 	// Version-funnel contention baseline at run start (delta reporting).
 	lockR0, lockW0 uint64
+	// Index hit/miss baseline at run start (delta reporting).
+	ixHits0, ixMisses0 uint64
 
 	mu              sync.Mutex // guards the fields below
 	res             RunResult
@@ -111,6 +113,7 @@ func newEngine(s *System, opts RunOptions) *engine {
 		workers = 1
 	}
 	rw, ww := s.engineMu.contention()
+	ih, im := s.IndexStats()
 	return &engine{
 		s:              s,
 		opts:           opts,
@@ -124,6 +127,8 @@ func newEngine(s *System, opts RunOptions) *engine {
 		mergeWaitH:     &obs.Histogram{},
 		lockR0:         rw,
 		lockW0:         ww,
+		ixHits0:        ih,
+		ixMisses0:      im,
 		// seen gates provably-sterile re-attempts: a call attempted when
 		// the documents its service reads had versions v̄ returns the
 		// same answer as long as those versions stay v̄ (services are
@@ -295,6 +300,7 @@ func (e *engine) result() RunResult {
 		res.Errors = errs
 	}
 	rw, ww := e.s.engineMu.contention()
+	ih, im := e.s.IndexStats()
 	res.Stats = RunStats{
 		CallsFired:   res.Attempts,
 		CallsSterile: e.sterile,
@@ -304,6 +310,8 @@ func (e *engine) result() RunResult {
 		MergeWait:    e.mergeWaitH.Snapshot(),
 		ReaderWaits:  rw - e.lockR0,
 		WriterWaits:  ww - e.lockW0,
+		IndexHits:    ih - e.ixHits0,
+		IndexMisses:  im - e.ixMisses0,
 	}
 	if e.ev != nil {
 		res.Stats.Enqueues = e.ev.enqueues
@@ -332,6 +340,8 @@ func (e *engine) publishLocked(res RunResult) {
 	reg.Counter("engine.enqueues.coalesced").Add(int64(res.Stats.EnqueuesCoalesced))
 	reg.Counter("engine.lock.reader_waits").Add(int64(res.Stats.ReaderWaits))
 	reg.Counter("engine.lock.writer_waits").Add(int64(res.Stats.WriterWaits))
+	reg.Counter("engine.index.hits").Add(int64(res.Stats.IndexHits))
+	reg.Counter("engine.index.misses").Add(int64(res.Stats.IndexMisses))
 	reg.Histogram("engine.eval_ns").Merge(res.Stats.Eval)
 	reg.Histogram("engine.slot_wait_ns").Merge(res.Stats.SlotWait)
 	reg.Histogram("engine.merge_wait_ns").Merge(res.Stats.MergeWait)

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"axml/internal/obs"
+	"axml/internal/query"
 	"axml/internal/subsume"
 	"axml/internal/tree"
 )
@@ -127,12 +128,31 @@ func (s *System) evaluateSince(ctx context.Context, c Call, since map[string]uin
 		Context: attach,
 		Docs:    s.Docs(),
 		Since:   since,
+		Indexes: s.bindingIndexes(c),
 	}
 	forest, err := svc.Invoke(ctx, b)
 	if err != nil {
 		return nil, fmt.Errorf("core: service %q: %w", c.Node.Name, err)
 	}
 	return forest, nil
+}
+
+// bindingIndexes assembles the per-document inverted indexes a call's
+// evaluation may use: every system document's index plus "context"
+// resolved to the call's own document (the context subtree lives there;
+// the index accelerates the match exactly when the context is the whole
+// document). The synthetic input root is never an indexed node, so no
+// index is offered for it. Returns nil when indexing is disabled.
+func (s *System) bindingIndexes(c Call) query.Indexes {
+	if !s.indexing {
+		return nil
+	}
+	ixs := make(query.Indexes, len(s.indexes)+1)
+	for name, ix := range s.indexes {
+		ixs[name] = ix
+	}
+	ixs[tree.Context] = s.indexes[c.Doc]
+	return ixs
 }
 
 // merge is the mutating half of Invoke: it appends the result forest as
@@ -150,6 +170,7 @@ func (s *System) evaluateSince(ctx context.Context, c Call, since map[string]uin
 func (s *System) merge(c Call, forest tree.Forest) (fresh tree.Forest, path []*tree.Node, changed bool) {
 	attach := c.Parent
 	doc := s.docs[c.Doc]
+	ix := s.indexes[c.Doc] // nil when indexing is disabled; methods no-op
 	// Results subsumed by existing siblings cannot change the document.
 	fresh = reduceForestAgainst(attach, subsume.ReduceForest(forest))
 	if len(fresh) == 0 {
@@ -181,6 +202,8 @@ func (s *System) merge(c Call, forest tree.Forest) (fresh tree.Forest, path []*t
 		}
 		if !dominated {
 			kept = append(kept, existing)
+		} else {
+			ix.RemoveSubtree(existing)
 		}
 	}
 	attach.Children = append(kept, fresh...)
@@ -189,11 +212,15 @@ func (s *System) merge(c Call, forest tree.Forest) (fresh tree.Forest, path []*t
 	if len(path) == 0 || path[len(path)-1] != attach {
 		path = s.findPath(doc.Root, attach)
 	}
+	// The child lists along root..attach changed (or are about to, in the
+	// sibling pruning below): their memoized subtree digests are stale.
+	tree.InvalidateDigestPath(path)
 	for i := len(path) - 2; i >= 0; i-- {
 		ancestor, grown := path[i], path[i+1]
 		pruned := ancestor.Children[:0]
 		for _, sib := range ancestor.Children {
 			if sib != grown && subsume.Subsumed(sib, grown) {
+				ix.RemoveSubtree(sib)
 				continue
 			}
 			pruned = append(pruned, sib)
@@ -203,11 +230,15 @@ func (s *System) merge(c Call, forest tree.Forest) (fresh tree.Forest, path []*t
 	s.bumpVersion(c.Doc)
 	// Stamp the appended trees with the post-bump version: a later delta
 	// evaluation with a baseline at or above the pre-bump version sees
-	// exactly these nodes as its delta.
+	// exactly these nodes as its delta. (StampAll also clears their digest
+	// memos; the copies Union made inside ReduceForest carried memos from
+	// the service's result trees.)
 	v := s.docVersion[c.Doc]
 	for _, f := range fresh {
 		f.StampAll(v)
+		ix.AddSubtree(attach, f)
 	}
+	ix.Compact()
 	return fresh, path, true
 }
 
@@ -502,6 +533,15 @@ type RunStats struct {
 	// already-pending entry; both zero for the sweeping engine.
 	Enqueues          int
 	EnqueuesCoalesced int
+	// IndexHits and IndexMisses count, over this run, pattern matches
+	// answered through a document's inverted index (anchored candidate
+	// enumeration or an empty-candidate early reject) versus matches that
+	// fell back to the naive tree walk despite an index being present
+	// (no selective anchor, or a match rooted below the document root).
+	// Both zero when indexing is disabled. Concurrent runs on one system
+	// share the underlying counters, so the deltas include their traffic.
+	IndexHits   uint64
+	IndexMisses uint64
 	// Eval is the service-evaluation latency histogram (ns).
 	Eval obs.HistSnapshot
 	// SlotWait is the time each admitted call waited for a worker-pool

@@ -47,6 +47,12 @@ type Binding struct {
 	// pass the binding through unchanged so wrapped declarative services
 	// still see their baseline.
 	Since map[string]uint64
+	// Indexes optionally maps document names (including the reserved
+	// "context") to inverted indexes over the live trees (see
+	// pattern.Index and query.Indexes). Purely an accelerator: services
+	// are free to ignore it, and results must not depend on its presence.
+	// QueryService threads it into its snapshot evaluation.
+	Indexes query.Indexes
 }
 
 // docs returns the full θ binding including the reserved names.
@@ -117,7 +123,7 @@ func (s *QueryService) Invoke(ctx context.Context, b Binding) (tree.Forest, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return query.SnapshotSince(s.Query, b.docs(), b.Since)
+	return query.SnapshotSinceIndexed(s.Query, b.docs(), b.Since, b.Indexes)
 }
 
 // IsSimple reports whether the defining query is simple (no tree

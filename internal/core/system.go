@@ -31,6 +31,14 @@ type System struct {
 	// out-of-band growth, Restore merges). Durability layers register here
 	// to learn which documents changed without reaching into the engine.
 	onMutate func(docName string)
+	// indexes holds one inverted index per document (see pattern.Index),
+	// maintained incrementally by merge (documents only grow under the
+	// version funnel) and rebuilt wholesale on the out-of-band mutation
+	// paths (Touch, Restore). Nil entries and a false indexing flag both
+	// degrade every match to the naive walk — SetIndexing(false) is the
+	// knob the digest-equivalence tests flip.
+	indexes  map[string]*pattern.Index
+	indexing bool
 	// engineMu is the version funnel: RunContext evaluates services under
 	// the read side (any number of invocations in flight) and merges
 	// results — the only tree mutations a run performs — under the write
@@ -50,6 +58,8 @@ func NewSystem() *System {
 		docs:       make(map[string]*tree.Document),
 		funcs:      make(map[string]Service),
 		docVersion: make(map[string]uint64),
+		indexes:    make(map[string]*pattern.Index),
+		indexing:   true,
 	}
 }
 
@@ -76,7 +86,57 @@ func (s *System) AddDocument(d *tree.Document) error {
 	subsume.ReduceInPlace(d.Root)
 	s.docNames = append(s.docNames, d.Name)
 	s.docs[d.Name] = d
+	s.reindex(d.Name)
 	return nil
+}
+
+// reindex (re)builds the named document's inverted index from scratch.
+// Used on document addition and on the out-of-band mutation paths that
+// restructure trees wholesale; engine merges maintain the index
+// incrementally instead.
+func (s *System) reindex(name string) {
+	if !s.indexing {
+		return
+	}
+	if doc := s.docs[name]; doc != nil {
+		s.indexes[name] = pattern.NewIndex(doc.Root)
+	}
+}
+
+// SetIndexing enables or disables indexed pattern matching (enabled by
+// default). Disabling drops the indexes and every match runs the naive
+// walk; re-enabling rebuilds them. The results of every query are
+// identical either way — the knob exists so tests and benchmarks can pin
+// the indexed engine against the naive one. Must not be flipped while a
+// run is in flight.
+func (s *System) SetIndexing(on bool) {
+	if s.indexing == on {
+		return
+	}
+	s.indexing = on
+	if !on {
+		s.indexes = make(map[string]*pattern.Index)
+		return
+	}
+	for _, name := range s.docNames {
+		s.reindex(name)
+	}
+}
+
+// Index returns the named document's inverted index, or nil when
+// indexing is disabled.
+func (s *System) Index(name string) *pattern.Index { return s.indexes[name] }
+
+// IndexStats sums the hit/miss counters across all document indexes:
+// matches answered through an index versus matches that fell back to the
+// naive walk on a present index.
+func (s *System) IndexStats() (hits, misses uint64) {
+	for _, ix := range s.indexes {
+		h, m := ix.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // AddService registers a service under its function name.
@@ -177,6 +237,9 @@ func (s *System) Touch(name string) {
 	}
 	s.bumpVersion(name)
 	doc.Root.StampAll(s.docVersion[name])
+	// An out-of-band edit may have restructured the tree arbitrarily; the
+	// incremental index maintenance only covers engine merges. Rebuild.
+	s.reindex(name)
 }
 
 // SetMutationHook registers fn to be called with the document name on
@@ -237,8 +300,10 @@ func (s *System) Restore(name string, root *tree.Node) (changed bool, err error)
 	s.bumpVersion(name)
 	// Union can splice surviving old nodes under restructured parents,
 	// which would break the stamp ordering delta evaluation relies on;
-	// restamp the whole document conservatively (full delta).
+	// restamp the whole document conservatively (full delta) and rebuild
+	// its index (Union rebuilt the tree).
 	doc.Root.StampAll(s.docVersion[name])
+	s.reindex(name)
 	return true, nil
 }
 
@@ -274,10 +339,12 @@ func (s *System) CountCalls() int {
 // concrete system, not its forks.
 func (s *System) Copy() *System {
 	c := NewSystem()
+	c.indexing = s.indexing
 	for _, name := range s.docNames {
 		c.docNames = append(c.docNames, name)
 		c.docs[name] = s.docs[name].Copy()
 		c.docVersion[name] = s.docVersion[name]
+		c.reindex(name) // indexes hold node pointers; never share across copies
 	}
 	for _, name := range s.funcNames {
 		c.funcNames = append(c.funcNames, name)

@@ -18,7 +18,7 @@ package pattern
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"axml/internal/tree"
@@ -273,10 +273,33 @@ type Binding struct {
 }
 
 func (b Binding) key() string {
+	var sb strings.Builder
+	b.appendKey(&sb)
+	return sb.String()
+}
+
+// appendKey writes the binding's identity into sb. Tree bindings are
+// keyed by their memoized structural digest — 32 opaque bytes instead of
+// a canonical string that re-serializes the subtree on every dedup probe.
+// Equal digests mean isomorphic subtrees (see tree.Hash), which is
+// exactly the equality Key deduplicates by.
+func (b Binding) appendKey(sb *strings.Builder) {
 	if b.Tree != nil {
-		return "t:" + b.Tree.CanonicalString()
+		h := b.Tree.Digest()
+		sb.WriteString("t:")
+		sb.Write(h[:])
+		return
 	}
-	return "a:" + b.Atom
+	sb.WriteString("a:")
+	sb.WriteString(b.Atom)
+}
+
+// keyLen returns the exact length appendKey will write.
+func (b Binding) keyLen() int {
+	if b.Tree != nil {
+		return 2 + len(tree.Hash{})
+	}
+	return 2 + len(b.Atom)
 }
 
 // Assignment maps variable names to bindings (the paper's µ, restricted to
@@ -293,23 +316,29 @@ func (a Assignment) Copy() Assignment {
 }
 
 // Key returns a canonical string identifying the assignment, used to
-// deduplicate matches and to memoize instantiations.
+// deduplicate matches and to memoize instantiations. The key is opaque:
+// tree bindings enter it as structural digests, not as canonical strings
+// (see Binding.appendKey), and the buffer is sized exactly once — Key
+// sits on the dedup hot path, where every match probes the seen-map.
 func (a Assignment) Key() string {
 	names := make([]string, 0, len(a))
-	for n := range a {
+	size := 0
+	for n, b := range a {
 		names = append(names, n)
+		size += len(n) + b.keyLen() + 2
 	}
-	sort.Strings(names)
-	var b strings.Builder
+	slices.Sort(names)
+	var sb strings.Builder
+	sb.Grow(size)
 	for i, n := range names {
 		if i > 0 {
-			b.WriteByte('|')
+			sb.WriteByte('|')
 		}
-		b.WriteString(n)
-		b.WriteByte('=')
-		b.WriteString(a[n].key())
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		a[n].appendKey(&sb)
 	}
-	return b.String()
+	return sb.String()
 }
 
 // Match returns every assignment µ (restricted to the pattern's variables)

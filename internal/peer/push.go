@@ -185,6 +185,11 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		target.node.Children = append(target.node.Children, forest...)
+		// The raw append above bypasses the digest invalidation contract:
+		// clear the memoized digests and reduced flags before reducing, or
+		// ReduceInPlace would trust stale memos (and could skip, or wrongly
+		// group, the subtree that just grew).
+		tree.InvalidateDigestAll(doc.Root)
 		subsume.ReduceInPlace(doc.Root)
 		// Out-of-band growth: make the version gate see the pushed data.
 		s.Touch(target.doc)

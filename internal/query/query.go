@@ -224,12 +224,26 @@ func countTreeVarOccurrences(p *pattern.Node, dst map[string]int) {
 // Missing names simply yield no matches for their atoms.
 type Docs map[string]*tree.Node
 
+// Indexes optionally maps document names to inverted indexes accelerating
+// their atoms (see pattern.Index). The reserved "context" name may map to
+// the index of the document that owns the bound subtree: the index
+// accelerates the match exactly when the context is the whole document
+// (a root-level call) and degrades to the walk otherwise. A nil map, a
+// missing entry or a nil index all degrade to the naive walk.
+type Indexes map[string]*pattern.Index
+
 // Snapshot evaluates the query on the given document binding without
 // invoking any service call: the snapshot result q(I) of Section 3.1. The
 // returned forest consists of freshly allocated, reduced trees with no
 // tree subsumed by another.
 func Snapshot(q *Query, docs Docs) (tree.Forest, error) {
-	asns, err := BodyAssignments(q, docs)
+	return SnapshotIndexed(q, docs, nil)
+}
+
+// SnapshotIndexed is Snapshot accelerated by per-document inverted
+// indexes. Results are identical to Snapshot.
+func SnapshotIndexed(q *Query, docs Docs, ixs Indexes) (tree.Forest, error) {
+	asns, err := BodyAssignmentsIndexed(q, docs, ixs)
 	if err != nil {
 		return nil, err
 	}
@@ -253,10 +267,16 @@ func Snapshot(q *Query, docs Docs) (tree.Forest, error) {
 // monotonicity (Proposition 3.1), assignments whose every witness is old
 // were already produced at the baseline, so skipping them loses nothing.
 func SnapshotSince(q *Query, docs Docs, since map[string]uint64) (tree.Forest, error) {
+	return SnapshotSinceIndexed(q, docs, since, nil)
+}
+
+// SnapshotSinceIndexed is SnapshotSince accelerated by per-document
+// inverted indexes. Results are identical to SnapshotSince.
+func SnapshotSinceIndexed(q *Query, docs Docs, since map[string]uint64, ixs Indexes) (tree.Forest, error) {
 	if since == nil {
-		return Snapshot(q, docs)
+		return SnapshotIndexed(q, docs, ixs)
 	}
-	sts, err := bodyAssignmentsSince(q, docs, since)
+	sts, err := bodyAssignmentsSince(q, docs, since, ixs)
 	if err != nil {
 		return nil, err
 	}
@@ -278,17 +298,18 @@ func SnapshotSince(q *Query, docs Docs, since map[string]uint64) (tree.Forest, e
 // the New flag of each result reports whether some witnessing embedding
 // maps a pattern node onto a document node appended after the baseline
 // version of that atom's document.
-func bodyAssignmentsSince(q *Query, docs Docs, since map[string]uint64) ([]pattern.Stamped, error) {
+func bodyAssignmentsSince(q *Query, docs Docs, since map[string]uint64, ixs Indexes) ([]pattern.Stamped, error) {
 	sts := []pattern.Stamped{{Asn: pattern.Assignment{}}}
-	for _, a := range q.Body {
+	for _, a := range orderAtoms(q, ixs) {
 		doc := docs[a.Doc]
 		if doc == nil {
 			return nil, nil
 		}
 		base, known := since[a.Doc]
+		ix := ixs[a.Doc]
 		var next []pattern.Stamped
 		for _, st := range sts {
-			for _, m := range pattern.MatchUnderSince(a.Pattern, doc, st.Asn, base) {
+			for _, m := range ix.MatchUnderSince(a.Pattern, doc, st.Asn, base) {
 				// An unknown baseline makes every match of this atom new
 				// (conservative full re-evaluation for this conjunct).
 				next = append(next, pattern.Stamped{Asn: m.Asn, New: st.New || m.New || !known})
@@ -332,15 +353,24 @@ func dedupStamped(as []pattern.Stamped) []pattern.Stamped {
 // BodyAssignments computes every assignment satisfying the body and the
 // inequalities, restricted to the variables, deduplicated.
 func BodyAssignments(q *Query, docs Docs) ([]pattern.Assignment, error) {
+	return BodyAssignmentsIndexed(q, docs, nil)
+}
+
+// BodyAssignmentsIndexed is BodyAssignments accelerated by per-document
+// inverted indexes: atoms are joined in greedy selectivity order (see
+// orderAtoms) and each atom matches through its document's index when one
+// is provided. The assignment set is identical to BodyAssignments.
+func BodyAssignmentsIndexed(q *Query, docs Docs, ixs Indexes) ([]pattern.Assignment, error) {
 	asns := []pattern.Assignment{{}}
-	for _, a := range q.Body {
+	for _, a := range orderAtoms(q, ixs) {
 		doc := docs[a.Doc]
 		if doc == nil {
 			return nil, nil
 		}
+		ix := ixs[a.Doc]
 		var next []pattern.Assignment
 		for _, asn := range asns {
-			next = append(next, pattern.MatchUnder(a.Pattern, doc, asn)...)
+			next = append(next, ix.MatchUnder(a.Pattern, doc, asn)...)
 		}
 		if len(next) == 0 {
 			return nil, nil
@@ -358,6 +388,56 @@ func BodyAssignments(q *Query, docs Docs) ([]pattern.Assignment, error) {
 		}
 	}
 	return out, nil
+}
+
+// orderAtoms returns the body atoms in greedy join order: repeatedly pick
+// the not-yet-joined atom binding the most variables already bound by the
+// chosen prefix, breaking ties by index selectivity (the length of the
+// rarest constant's candidate list) and then by original position. Bound
+// variables act as constants inside MatchUnder, so joining them early
+// shrinks the intermediate assignment sets; conjunction is commutative
+// and results are deduplicated, so any order yields the same set. Greedy
+// one-step lookahead is the janus-datalog observation: with exact
+// candidate counts for free, the greedy order is within noise of optimal
+// and costs nothing to compute.
+func orderAtoms(q *Query, ixs Indexes) []Atom {
+	n := len(q.Body)
+	if n <= 1 {
+		return q.Body
+	}
+	vars := make([]map[string]pattern.Kind, n)
+	sel := make([]int, n)
+	for i, a := range q.Body {
+		vars[i] = map[string]pattern.Kind{}
+		_ = a.Pattern.Vars(vars[i]) // best effort; invalid patterns fail later
+		sel[i] = ixs[a.Doc].Selectivity(a.Pattern)
+	}
+	bound := map[string]bool{}
+	used := make([]bool, n)
+	out := make([]Atom, 0, n)
+	for len(out) < n {
+		best, bestBound := -1, -1
+		for i := range q.Body {
+			if used[i] {
+				continue
+			}
+			nb := 0
+			for v := range vars[i] {
+				if bound[v] {
+					nb++
+				}
+			}
+			if best < 0 || nb > bestBound || (nb == bestBound && sel[i] < sel[best]) {
+				best, bestBound = i, nb
+			}
+		}
+		used[best] = true
+		out = append(out, q.Body[best])
+		for v := range vars[best] {
+			bound[v] = true
+		}
+	}
+	return out
 }
 
 func dedupAssignments(as []pattern.Assignment) []pattern.Assignment {

@@ -11,11 +11,31 @@
 // Reduction removes subtrees subsumed by a sibling; Proposition 2.1(2)
 // guarantees a unique reduced version up to isomorphism, which this package
 // computes in polynomial time.
+//
+// Performance: markings are compared through interned symbols (tree.Sym,
+// one word instead of a string) and every check short-circuits on equal
+// memoized subtree digests (tree.Digest): equal digests mean isomorphic
+// subtrees, which subsume each other by the identity homomorphism. The
+// digest short-circuit is what lets reduction and LUB merge share
+// structure across million-node documents instead of re-walking it.
 package subsume
 
 import (
 	"axml/internal/tree"
 )
+
+// Naive, when true, disables the interned-symbol and digest fast paths:
+// markings are compared as strings and no digest short-circuit or
+// digest-grouped pruning runs. It exists for the differential tests and
+// benchmarks that pin the fast paths to the definitional algorithm; do
+// not flip it while evaluations are in flight.
+var Naive bool
+
+// maxMemoEntries bounds the per-query node-pair memo: beyond it, results
+// are still computed (correctly) but no longer recorded, keeping the
+// worst-case memory of one subsumption query bounded regardless of
+// document size.
+const maxMemoEntries = 1 << 20
 
 // Subsumed reports whether a ⊆ b.
 func Subsumed(a, b *tree.Node) bool {
@@ -33,7 +53,7 @@ func Equivalent(a, b *tree.Node) bool {
 
 // checker memoizes subsumption between node pairs within one top-level
 // query. Trees are acyclic so the recursion is well-founded and each pair
-// is decided once.
+// is decided once (up to the memo bound).
 type checker struct {
 	memo map[[2]*tree.Node]bool
 }
@@ -43,12 +63,28 @@ func newChecker() *checker {
 }
 
 func (c *checker) sub(a, b *tree.Node) bool {
+	if a == b {
+		return true
+	}
+	if Naive {
+		return c.subNaive(a, b)
+	}
+	if a.Sym() != b.Sym() {
+		return false
+	}
+	if len(a.Children) == 0 {
+		return true
+	}
 	key := [2]*tree.Node{a, b}
 	if v, ok := c.memo[key]; ok {
 		return v
 	}
-	ok := a.Kind == b.Kind && a.Name == b.Name
-	if ok {
+	// Equal digests mean isomorphic subtrees: subsumed via the identity.
+	// The digests are memoized per node (tree.Digest), so across one
+	// reduction or merge each subtree is hashed at most once.
+	ok := a.Digest() == b.Digest()
+	if !ok {
+		ok = true
 		for _, ca := range a.Children {
 			found := false
 			for _, cb := range b.Children {
@@ -63,7 +99,39 @@ func (c *checker) sub(a, b *tree.Node) bool {
 			}
 		}
 	}
-	c.memo[key] = ok
+	if len(c.memo) < maxMemoEntries {
+		c.memo[key] = ok
+	}
+	return ok
+}
+
+// subNaive is the definitional bottom-up check: string marking compare,
+// no digest short-circuit. Kept as the oracle the differential tests and
+// benchmarks pin the fast path against.
+func (c *checker) subNaive(a, b *tree.Node) bool {
+	key := [2]*tree.Node{a, b}
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	ok := a.Kind == b.Kind && a.Name == b.Name
+	if ok {
+		for _, ca := range a.Children {
+			found := false
+			for _, cb := range b.Children {
+				if c.subNaive(ca, cb) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+	}
+	if len(c.memo) < maxMemoEntries {
+		c.memo[key] = ok
+	}
 	return ok
 }
 
@@ -85,22 +153,102 @@ func reduceInPlace(t *tree.Node) *tree.Node {
 	if t == nil {
 		return nil
 	}
-	for _, c := range t.Children {
-		reduceInPlace(c)
-	}
-	t.Children = pruneSiblings(t.Children)
+	reduceChanged(t)
 	return t
+}
+
+// reduceChanged reduces t bottom-up and reports whether anything in the
+// subtree was pruned — in which case t's memoized digest (which covers
+// the whole subtree) is stale and gets cleared. An untouched subtree
+// keeps its memo.
+//
+// Fast path: a subtree carrying the reduced flag (tree.KnownReduced) was
+// verified reduced and has not been mutated since — the flag rides the
+// digest invalidation contract — so the whole recursion is skipped.
+// Reduction is idempotent, which makes the steady-state re-reduce of a
+// monotone system (most of the document untouched since the last merge)
+// O(changed spine) instead of O(document).
+func reduceChanged(t *tree.Node) bool {
+	if !Naive && t.KnownReduced() {
+		return false
+	}
+	changed := false
+	for _, c := range t.Children {
+		if reduceChanged(c) {
+			changed = true
+		}
+	}
+	before := len(t.Children)
+	t.Children = pruneSiblings(t.Children)
+	if len(t.Children) != before {
+		changed = true
+	}
+	if changed {
+		t.InvalidateDigest()
+	}
+	if !Naive {
+		t.MarkReduced()
+	}
+	return changed
 }
 
 // pruneSiblings removes from the multiset every tree subsumed by another
 // sibling, keeping one representative of each equivalence class. Children
 // are assumed individually reduced.
+//
+// Fast path: siblings are first grouped by memoized digest — equal
+// digests are isomorphic subtrees, so every group keeps exactly its first
+// member and drops the rest in O(1) per duplicate. Only the distinct
+// representatives then run the pairwise subsumption test. Merging a large
+// result forest into a document that already contains most of it (the
+// steady state of a monotone system) collapses to the digest grouping.
 func pruneSiblings(children []*tree.Node) []*tree.Node {
 	if len(children) <= 1 {
 		return children
 	}
-	c := newChecker()
-	keep := make([]*tree.Node, 0, len(children))
+	if Naive {
+		return pruneSiblingsPairwise(children, newChecker())
+	}
+	// Group by digest, keeping first representatives in order. Small
+	// sibling sets — the overwhelmingly common case — dedup by scanning
+	// the representatives already kept: a handful of 32-byte compares
+	// beats allocating a map at every node of a reduction.
+	reps := children[:0]
+	if len(children) <= 16 {
+	dedup:
+		for _, c := range children {
+			d := c.Digest()
+			for _, r := range reps {
+				if r.Digest() == d {
+					continue dedup
+				}
+			}
+			reps = append(reps, c)
+		}
+	} else {
+		seen := make(map[tree.Hash]bool, len(children))
+		for _, c := range children {
+			d := c.Digest()
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			reps = append(reps, c)
+		}
+	}
+	if len(reps) <= 1 {
+		return reps
+	}
+	return pruneSiblingsPairwise(reps, newChecker())
+}
+
+// pruneSiblingsPairwise is the definitional O(k²) sibling pruning over
+// the given (deduplicated) children, in place.
+func pruneSiblingsPairwise(children []*tree.Node, c *checker) []*tree.Node {
+	if len(children) <= 1 {
+		return children
+	}
+	keep := children[:0]
 	for i, ci := range children {
 		dominated := false
 		for j, cj := range children {
@@ -164,17 +312,39 @@ func Union(a, b *tree.Node) *tree.Node {
 	if b == nil {
 		return Reduce(a)
 	}
-	if a.Kind != b.Kind || a.Name != b.Name {
-		return nil
+	if sameMarking(a, b) {
+		if !Naive {
+			// LUB shortcut: when one side already subsumes the other, the
+			// union is the larger side (up to equivalence) — skip the
+			// concatenate-and-reduce entirely. With memoized digests the
+			// checks are near-free for the common case of a snapshot
+			// unioned with a grown version of itself (mirror syncs,
+			// restores), collapsing the union to one copy.
+			if Subsumed(b, a) {
+				return Reduce(a)
+			}
+			if Subsumed(a, b) {
+				return Reduce(b)
+			}
+		}
+		u := &tree.Node{Kind: a.Kind, Name: a.Name}
+		for _, c := range a.Children {
+			u.Children = append(u.Children, c.Copy())
+		}
+		for _, c := range b.Children {
+			u.Children = append(u.Children, c.Copy())
+		}
+		return reduceInPlace(u)
 	}
-	u := &tree.Node{Kind: a.Kind, Name: a.Name}
-	for _, c := range a.Children {
-		u.Children = append(u.Children, c.Copy())
+	return nil
+}
+
+// sameMarking compares root markings, via symbols unless Naive.
+func sameMarking(a, b *tree.Node) bool {
+	if Naive {
+		return a.Kind == b.Kind && a.Name == b.Name
 	}
-	for _, c := range b.Children {
-		u.Children = append(u.Children, c.Copy())
-	}
-	return reduceInPlace(u)
+	return a.SameMarking(b)
 }
 
 // ForestSubsumed reports whether forest a is subsumed by forest b: every

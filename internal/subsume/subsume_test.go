@@ -260,3 +260,87 @@ func shuffleTree(rng *rand.Rand, n *tree.Node) *tree.Node {
 	}
 	return c
 }
+
+// TestReducedFlagLifecycle pins the steady-state reduce skip: a reduced
+// subtree is marked, an untouched re-reduce is a no-op that keeps the
+// mark, and any mutation through the invalidation contract clears it so
+// the next reduce really runs.
+func TestReducedFlagLifecycle(t *testing.T) {
+	n := tree.NewLabel("r",
+		tree.NewLabel("a", tree.NewValue("1")),
+		tree.NewLabel("a", tree.NewValue("1")), // duplicate: something to prune
+	)
+	subsume.ReduceInPlace(n)
+	if len(n.Children) != 1 {
+		t.Fatalf("duplicate not pruned: %s", n)
+	}
+	if !n.KnownReduced() {
+		t.Fatal("reduced tree not marked")
+	}
+	// Idempotent re-reduce keeps the tree and the mark.
+	subsume.ReduceInPlace(n)
+	if !n.KnownReduced() || len(n.Children) != 1 {
+		t.Fatalf("re-reduce changed the tree: %s", n)
+	}
+
+	// Growth through Add clears the mark; reduce then prunes the new
+	// duplicate.
+	n.Add(n.Children[0].Copy())
+	if n.KnownReduced() {
+		t.Fatal("mark survived Add")
+	}
+	subsume.ReduceInPlace(n)
+	if len(n.Children) != 1 {
+		t.Fatalf("new duplicate not pruned: %s", n)
+	}
+
+	// StampAll (Touch/Restore/replica sync) conservatively clears marks
+	// everywhere.
+	n.StampAll(3)
+	if n.KnownReduced() {
+		t.Fatal("mark survived StampAll")
+	}
+}
+
+// TestReduceAfterRawAppend is the out-of-band growth scenario (peer push):
+// children appended through a raw slice write leave stale digests and a
+// stale reduced mark, which InvalidateDigestAll must clear for reduction
+// to see the new data.
+func TestReduceAfterRawAppend(t *testing.T) {
+	n := tree.NewLabel("r", tree.NewLabel("a", tree.NewValue("1")))
+	subsume.ReduceInPlace(n)
+	_ = n.Digest()
+
+	// Raw append, bypassing Add: a duplicate plus a genuinely new child.
+	n.Children = append(n.Children,
+		tree.NewLabel("a", tree.NewValue("1")),
+		tree.NewLabel("b"))
+	tree.InvalidateDigestAll(n)
+	subsume.ReduceInPlace(n)
+	if len(n.Children) != 2 {
+		t.Fatalf("raw-appended duplicate not pruned: %s", n)
+	}
+	if n.Digest() != n.CanonicalHash() {
+		t.Fatal("digest stale after raw append + invalidate + reduce")
+	}
+	if !subsume.IsReduced(n) {
+		t.Fatalf("not reduced: %s", n)
+	}
+}
+
+// TestNaiveIgnoresReducedMark: the oracle must not trust (or plant) marks.
+func TestNaiveIgnoresReducedMark(t *testing.T) {
+	defer func(old bool) { subsume.Naive = old }(subsume.Naive)
+	n := tree.NewLabel("r",
+		tree.NewLabel("a", tree.NewValue("1")),
+		tree.NewLabel("a", tree.NewValue("1")),
+	)
+	// Plant a wrong mark the way no maintained path would; the naive
+	// reducer must still prune.
+	n.MarkReduced()
+	subsume.Naive = true
+	subsume.ReduceInPlace(n)
+	if len(n.Children) != 1 {
+		t.Fatalf("naive reduce trusted a planted mark: %s", n)
+	}
+}

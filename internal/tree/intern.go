@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is an interned symbol: a dense uint32 identifier for a (Kind, Name)
+// marking pair. Two nodes carry the same marking iff their symbols are
+// equal, so the hot comparisons of the engine — subsumption (Def. 2.3),
+// reduction, LUB merge and pattern matching — compare one machine word
+// instead of a kind byte plus a Go string. Symbols are never recycled:
+// documents only grow and markings are drawn from small alphabets, so the
+// table is append-only and stays tiny relative to the trees.
+//
+// Sym 0 is reserved as "not interned yet"; valid symbols start at 1.
+type Sym uint32
+
+// internTable is the process-wide symbol table. A single table (rather
+// than one per document) makes symbols comparable across documents, which
+// the cross-document joins of conjunctive queries rely on.
+type internTable struct {
+	mu   sync.RWMutex
+	syms map[internKey]Sym
+	// rev maps Sym-1 to its key, for SymMarking and diagnostics.
+	rev []internKey
+}
+
+type internKey struct {
+	kind Kind
+	name string
+}
+
+var symbols = internTable{syms: make(map[internKey]Sym, 256)}
+
+// Intern returns the symbol for the (kind, name) marking, allocating one
+// on first use. Safe for concurrent use; the read path is a shared-lock
+// map hit.
+func Intern(kind Kind, name string) Sym {
+	k := internKey{kind: kind, name: name}
+	symbols.mu.RLock()
+	s, ok := symbols.syms[k]
+	symbols.mu.RUnlock()
+	if ok {
+		return s
+	}
+	symbols.mu.Lock()
+	defer symbols.mu.Unlock()
+	if s, ok = symbols.syms[k]; ok {
+		return s
+	}
+	symbols.rev = append(symbols.rev, k)
+	s = Sym(len(symbols.rev)) // Sym 0 reserved; first symbol is 1
+	symbols.syms[k] = s
+	return s
+}
+
+// SymMarking returns the (kind, name) pair a symbol was interned for.
+// The zero Sym (and any symbol never issued) reports ok=false.
+func SymMarking(s Sym) (kind Kind, name string, ok bool) {
+	if s == 0 {
+		return 0, "", false
+	}
+	symbols.mu.RLock()
+	defer symbols.mu.RUnlock()
+	if int(s) > len(symbols.rev) {
+		return 0, "", false
+	}
+	k := symbols.rev[s-1]
+	return k.kind, k.name, true
+}
+
+// InternedSymbols reports how many distinct markings have been interned
+// process-wide.
+func InternedSymbols() int {
+	symbols.mu.RLock()
+	defer symbols.mu.RUnlock()
+	return len(symbols.rev)
+}
+
+// Sym returns the node's interned symbol, interning the marking on first
+// use and caching it on the node. The cache is filled with an atomic
+// store so concurrent readers (parallel evaluations walk shared live
+// trees) race benignly: both compute the same symbol. A node whose
+// Kind or Name is mutated in place must not have had Sym called before
+// the mutation; the engine never mutates markings (documents grow by
+// appending subtrees), so only hand-built test trees can violate this.
+func (n *Node) Sym() Sym {
+	if s := Sym(atomic.LoadUint32(&n.sym)); s != 0 {
+		return s
+	}
+	s := Intern(n.Kind, n.Name)
+	atomic.StoreUint32(&n.sym, uint32(s))
+	return s
+}
+
+// SameMarking reports whether two nodes carry identical markings (equal
+// Kind and Name), via their interned symbols.
+func (n *Node) SameMarking(m *Node) bool { return n.Sym() == m.Sym() }

@@ -1,0 +1,153 @@
+package tree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	s := Intern(Label, "intern-roundtrip-a")
+	if s == 0 {
+		t.Fatal("Intern returned the reserved zero symbol")
+	}
+	if again := Intern(Label, "intern-roundtrip-a"); again != s {
+		t.Fatalf("re-interning gave %d, want %d", again, s)
+	}
+	k, name, ok := SymMarking(s)
+	if !ok || k != Label || name != "intern-roundtrip-a" {
+		t.Fatalf("SymMarking(%d) = (%v, %q, %v)", s, k, name, ok)
+	}
+	if _, _, ok := SymMarking(0); ok {
+		t.Fatal("SymMarking(0) reported ok")
+	}
+}
+
+func TestInternDistinguishesKinds(t *testing.T) {
+	// The same name under different kinds must intern to distinct symbols:
+	// a label "x" and a value "x" are different markings.
+	l := Intern(Label, "intern-kinds-x")
+	v := Intern(Value, "intern-kinds-x")
+	f := Intern(Func, "intern-kinds-x")
+	if l == v || v == f || l == f {
+		t.Fatalf("kinds collapsed: label=%d value=%d func=%d", l, v, f)
+	}
+}
+
+// TestInternConcurrent hammers the table from many goroutines over an
+// overlapping name set and checks every goroutine resolved every marking
+// to the same symbol. Run under -race (make race does).
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 16
+	const names = 64
+	results := make([][]Sym, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Sym, names)
+			for i := 0; i < names; i++ {
+				// Every goroutine interns the same markings, in a
+				// goroutine-dependent order.
+				j := (i*7 + g) % names
+				out[j] = Intern(Value, fmt.Sprintf("intern-conc-%d", j))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for j := 0; j < names; j++ {
+			if results[g][j] != results[0][j] {
+				t.Fatalf("goroutine %d interned name %d to %d, goroutine 0 to %d",
+					g, j, results[g][j], results[0][j])
+			}
+		}
+	}
+	for j := 0; j < names; j++ {
+		k, name, ok := SymMarking(results[0][j])
+		if !ok || k != Value || name != fmt.Sprintf("intern-conc-%d", j) {
+			t.Fatalf("SymMarking roundtrip failed for name %d: (%v, %q, %v)", j, k, name, ok)
+		}
+	}
+}
+
+// TestNodeSymConcurrent fills the per-node symbol cache from concurrent
+// readers — the benign race the engine's parallel evaluations exercise.
+func TestNodeSymConcurrent(t *testing.T) {
+	n := NewLabel("sym-conc-label")
+	want := Intern(Label, "sym-conc-label")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := n.Sym(); got != want {
+					panic(fmt.Sprintf("Sym = %d, want %d", got, want))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDigestMatchesCanonicalHash(t *testing.T) {
+	n := NewLabel("r",
+		NewLabel("a", NewValue("1"), NewValue("2")),
+		NewLabel("a", NewValue("2"), NewValue("1")), // sibling order irrelevant
+		NewFunc("f", NewValue("p")),
+	)
+	if n.Digest() != n.CanonicalHash() {
+		t.Fatal("Digest and CanonicalHash disagree")
+	}
+	// Memoized second call must return the same value.
+	if n.Digest() != n.CanonicalHash() {
+		t.Fatal("memoized Digest disagrees with CanonicalHash")
+	}
+}
+
+func TestDigestInvalidation(t *testing.T) {
+	n := NewLabel("r", NewLabel("a"))
+	before := n.Digest()
+	n.Add(NewLabel("b")) // Add clears n's own memo
+	after := n.Digest()
+	if before == after {
+		t.Fatal("digest unchanged after Add")
+	}
+	if after != n.CanonicalHash() {
+		t.Fatal("digest stale after Add")
+	}
+
+	// Deep mutation + StampAll (the Touch/Restore path) must refresh
+	// every memo in the subtree.
+	deep := NewLabel("r", NewLabel("mid", NewLabel("leaf")))
+	_ = deep.Digest()
+	deep.Children[0].Children[0].Children = []*Node{NewValue("x")}
+	deep.StampAll(1)
+	if deep.Digest() != deep.CanonicalHash() {
+		t.Fatal("digest stale after deep mutation + StampAll")
+	}
+}
+
+func TestCopyCarriesCaches(t *testing.T) {
+	n := NewLabel("r", NewLabel("a", NewValue("1")))
+	_ = n.Sym()
+	d := n.Digest()
+	c := n.Copy()
+	if c.Digest() != d {
+		t.Fatal("copy digest differs from original")
+	}
+	if c.Digest() != c.CanonicalHash() {
+		t.Fatal("copied digest memo is stale")
+	}
+	if c.Sym() != n.Sym() {
+		t.Fatal("copy sym differs from original")
+	}
+	// Mutating the copy must not corrupt the original's memo.
+	c.Add(NewValue("2"))
+	if n.Digest() != d {
+		t.Fatal("original digest changed after mutating the copy")
+	}
+}

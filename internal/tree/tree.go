@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind classifies the marking of a node, mirroring the disjoint domains
@@ -60,6 +61,23 @@ type Node struct {
 	// baseline version; they carry no tree semantics and are ignored by
 	// comparison operations. Zero means "present since the initial state".
 	Stamp uint64
+
+	// sym caches the interned symbol for (Kind, Name); 0 means not yet
+	// interned. Filled lazily by Sym with atomic access — concurrent
+	// readers race benignly (both store the same value). See intern.go.
+	sym uint32
+	// dig caches the subtree's structural digest (hash-cons digest); nil
+	// means not computed since the last mutation. Filled lazily by Digest
+	// with atomic access; mutators clear it via InvalidateDigest (see
+	// hash.go for the invalidation contract).
+	dig atomic.Pointer[Hash]
+	// red, when 1, records that the subtree was verified reduced (no
+	// subtree subsumed by a sibling) by package subsume. It rides the
+	// digest invalidation contract: every path that clears dig clears red
+	// too, so a set flag is trustworthy exactly when a memoized digest
+	// would be. Makes re-reducing an untouched subtree O(1) — the steady
+	// state of monotone merging, where most of a document never changes.
+	red uint32
 }
 
 // NewLabel returns a data node labeled name with the given children.
@@ -78,9 +96,13 @@ func NewFunc(name string, params ...*Node) *Node {
 	return &Node{Kind: Func, Name: name, Children: params}
 }
 
-// Add appends children to n and returns n for chaining.
+// Add appends children to n and returns n for chaining. Only n's own
+// digest memo is cleared: callers growing a node already attached below
+// other nodes must invalidate the ancestor digests themselves (the
+// engine's merge path does; see InvalidateDigest).
 func (n *Node) Add(children ...*Node) *Node {
 	n.Children = append(n.Children, children...)
+	n.InvalidateDigest()
 	return n
 }
 
@@ -107,12 +129,18 @@ func (n *Node) Validate() error {
 	return nil
 }
 
-// Copy returns a deep copy of the subtree rooted at n.
+// Copy returns a deep copy of the subtree rooted at n. The interned
+// symbol, the memoized structural digest and the reduced flag carry
+// over: the copy is structurally identical to the original, so all three
+// caches stay valid.
 func (n *Node) Copy() *Node {
 	if n == nil {
 		return nil
 	}
 	c := &Node{Kind: n.Kind, Name: n.Name, Stamp: n.Stamp}
+	c.sym = atomic.LoadUint32(&n.sym)
+	c.dig.Store(n.dig.Load())
+	c.red = atomic.LoadUint32(&n.red)
 	if len(n.Children) > 0 {
 		c.Children = make([]*Node, len(n.Children))
 		for i, ch := range n.Children {
@@ -122,12 +150,17 @@ func (n *Node) Copy() *Node {
 	return c
 }
 
-// StampAll sets the Stamp of every node in the subtree to v.
+// StampAll sets the Stamp of every node in the subtree to v. Every
+// whole-document restamp follows an out-of-band mutation (Touch, Restore,
+// a replica sync), so StampAll doubles as the conservative digest
+// invalidation for those paths: the memoized digest of every node in the
+// subtree is cleared. (Stamps themselves do not enter the digest.)
 func (n *Node) StampAll(v uint64) {
 	if n == nil {
 		return
 	}
 	n.Stamp = v
+	n.InvalidateDigest()
 	for _, c := range n.Children {
 		c.StampAll(v)
 	}

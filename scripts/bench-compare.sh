@@ -10,17 +10,20 @@
 # benchstat-compatible: if benchstat is installed it does the
 # statistics; otherwise a plain paired ns/op comparison is printed.
 #
-# With -check the inputs are BENCH_parallel.json trajectory files and
-# the script is a regression GATE (`make bench-check`): it exits 1 when
-# any workload/parallelism present in both files regresses by more than
-# 20% on ns_per_op or on mergewait_p99_ns. Workloads or levels absent
-# from the baseline are reported as new and never fail the gate, so
-# adding a benchmark does not require regenerating the baseline in the
-# same change. Merge-wait comparisons whose candidate sits under 10ms
-# are skipped: down there the p99 is one histogram bucket of scheduler
-# noise, not a funnel signal — but a candidate ABOVE the floor is gated
-# even against a tiny baseline, which is exactly what writer starvation
-# at the version funnel looks like.
+# With -check the inputs are BENCH_*.json trajectory files
+# (BENCH_parallel.json's workload/parallelism-N records or
+# BENCH_tree.json's operation/variant records — any two-level nesting
+# whose leaves carry ns_per_op) and the script is a regression GATE
+# (`make bench-check`): it exits 1 when any leaf present in both files
+# regresses by more than 20% on ns_per_op, allocs_per_op or
+# mergewait_p99_ns. Workloads or leaves absent from the baseline are
+# reported as new and never fail the gate, so adding a benchmark does
+# not require regenerating the baseline in the same change. Merge-wait
+# comparisons whose candidate sits under 10ms are skipped: down there
+# the p99 is one histogram bucket of scheduler noise, not a funnel
+# signal — but a candidate ABOVE the floor is gated even against a tiny
+# baseline, which is exactly what writer starvation at the version
+# funnel looks like.
 set -eu
 
 check=0
@@ -36,20 +39,26 @@ old=$1 new=$2
 
 if [ "$check" = 1 ]; then
     awk -v tol=0.20 -v floor=10000000 '
-    # One BENCH_parallel.json record per "parallelism-N" line, nested
-    # one level under its workload name.
+    # Section headers (lines ending in an opening brace) carry the
+    # workload/operation name; leaf records are single lines holding an
+    # ns_per_op field, named by their first quoted token ("parallelism-N"
+    # in BENCH_parallel.json, the variant in BENCH_tree.json).
     /^[[:space:]]*"[^"]+": \{$/ {
         wl = $1
         gsub(/[":{]/, "", wl)
     }
-    /"parallelism-[0-9]+":/ {
+    /"[^"]+": *\{.*"ns_per_op"/ {
         line = $0
-        par = line
-        sub(/.*"parallelism-/, "", par); sub(/":.*/, "", par)
-        key = wl "/" par
+        leaf = line
+        sub(/^[[:space:]]*"/, "", leaf); sub(/".*/, "", leaf)
+        key = wl "/" leaf
         if (match(line, /"ns_per_op": *[0-9.e+-]+/)) {
             v = substr(line, RSTART, RLENGTH); sub(/.*: */, "", v)
             nsop[file, key] = v + 0
+        }
+        if (match(line, /"allocs_per_op": *[0-9.e+-]+/)) {
+            v = substr(line, RSTART, RLENGTH); sub(/.*: */, "", v)
+            al[file, key] = v + 0
         }
         if (match(line, /"mergewait_p99_ns": *[0-9.e+-]+/)) {
             v = substr(line, RSTART, RLENGTH); sub(/.*: */, "", v)
@@ -67,15 +76,23 @@ if [ "$check" = 1 ]; then
             key = keys[i]
             if (!((1, key) in nsop)) continue
             o = nsop[1, key]; c = nsop[2, key]
-            printf "%-28s ns_per_op %14d -> %14d (%+.1f%%)\n", key, o, c, (c - o) / o * 100
+            printf "%-28s ns_per_op %14.0f -> %14.0f (%+.1f%%)\n", key, o, c, (c - o) / o * 100
             if (c > o * (1 + tol)) {
                 printf "FAIL %s: ns_per_op regressed more than %.0f%%\n", key, tol * 100
                 fail = 1
             }
+            if ((1, key) in al && (2, key) in al) {
+                o = al[1, key]; c = al[2, key]
+                if (o > 0 && c > o * (1 + tol)) {
+                    printf "%-28s allocs    %14.0f -> %14.0f\n", key, o, c
+                    printf "FAIL %s: allocs_per_op regressed more than %.0f%%\n", key, tol * 100
+                    fail = 1
+                }
+            }
             if ((1, key) in mw && (2, key) in mw) {
                 o = mw[1, key]; c = mw[2, key]
                 if (c < floor) continue
-                printf "%-28s mergewait %14d -> %14d (%+.1f%%)\n", key, o, c, (o ? (c - o) / o * 100 : 0)
+                printf "%-28s mergewait %14.0f -> %14.0f (%+.1f%%)\n", key, o, c, (o ? (c - o) / o * 100 : 0)
                 if (c > o * (1 + tol)) {
                     printf "FAIL %s: mergewait_p99_ns regressed more than %.0f%%\n", key, tol * 100
                     fail = 1

@@ -1,13 +1,75 @@
 #!/bin/sh
 # bench-json.sh — convert `go test -bench` output on stdin into the
-# BENCH_parallel.json trajectory format: one record per benchmark with
-# its ns/op, the speedup of every parallelism level relative to
+# BENCH_*.json trajectory formats.
+#
+# Default mode handles BenchmarkRunParallel: one record per benchmark
+# with its ns/op, the speedup of every parallelism level relative to
 # parallelism-1 of the same workload, and any extra b.ReportMetric
 # columns the benchmark emitted (the engine's RunResult.Stats view:
 # fired, eval_p99_ns, slotwait_p99_ns, mergewait_p99_ns).
 #
-# Usage: go test -bench BenchmarkRunParallel ... | scripts/bench-json.sh
+# With -tree the input is BenchmarkTree (run with -benchmem): one record
+# per operation/variant with ns_per_op, bytes_per_op and allocs_per_op,
+# plus each variant's speedup relative to the "naive" variant of the
+# same operation.
+#
+# Usage:
+#   go test -bench BenchmarkRunParallel ... | scripts/bench-json.sh
+#   go test -bench 'BenchmarkTree$' -benchmem ... | scripts/bench-json.sh -tree
 set -eu
+
+mode=parallel
+if [ "${1-}" = "-tree" ]; then
+    mode=tree
+    shift
+fi
+
+if [ "$mode" = tree ]; then
+    awk '
+    /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+    /^BenchmarkTree\// && NF >= 4 {
+        name = $1
+        sub(/^BenchmarkTree\//, "", name)
+        sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+        split(name, part, "/")             # operation / variant
+        op = part[1]; v = part[2]
+        ns[op, v] = $3
+        # -benchmem columns come in value/unit pairs after "ns/op".
+        for (f = 5; f + 1 <= NF; f += 2) {
+            if ($(f + 1) == "B/op") bytes[op, v] = $f + 0
+            else if ($(f + 1) == "allocs/op") allocs[op, v] = $f + 0
+        }
+        if (!(op in seen)) { order[++n] = op; seen[op] = 1 }
+        if (!((op, v) in vseen)) { vars[op] = vars[op] " " v; vseen[op, v] = 1 }
+    }
+    END {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkTree\",\n"
+        printf "  \"date\": \"%s\",\n", strftime("%Y-%m-%d")
+        printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"workloads\": {\n"
+        for (i = 1; i <= n; i++) {
+            op = order[i]
+            printf "    \"%s\": {\n", op
+            m = split(substr(vars[op], 2), vv, " ")
+            for (j = 1; j <= m; j++) {
+                v = vv[j]
+                extra = ""
+                if ((op, v) in bytes)
+                    extra = extra sprintf(", \"bytes_per_op\": %.0f", bytes[op, v])
+                if ((op, v) in allocs)
+                    extra = extra sprintf(", \"allocs_per_op\": %.0f", allocs[op, v])
+                if (v != "naive" && (op, "naive") in ns && ns[op, v] > 0)
+                    extra = extra sprintf(", \"speedup_vs_naive\": %.1f", ns[op, "naive"] / ns[op, v])
+                printf "      \"%s\": {\"ns_per_op\": %.0f%s}%s\n", \
+                    v, ns[op, v], extra, (j < m ? "," : "")
+            }
+            printf "    }%s\n", (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }'
+    exit $?
+fi
 
 awk '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -40,7 +102,7 @@ END {
         for (j = 1; j <= m; j++) {
             par = p[j]
             speedup = ns[wl, 1] / ns[wl, par]
-            printf "      \"parallelism-%s\": {\"ns_per_op\": %d, \"speedup_vs_seq\": %.2f%s}%s\n", \
+            printf "      \"parallelism-%s\": {\"ns_per_op\": %.0f, \"speedup_vs_seq\": %.2f%s}%s\n", \
                 par, ns[wl, par], speedup, ex[wl, par], (j < m ? "," : "")
         }
         printf "    }%s\n", (i < n ? "," : "")

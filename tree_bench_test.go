@@ -1,0 +1,132 @@
+// BenchmarkTree measures the interning/hash-consing/indexing layer on
+// million-node documents: anchored pattern matching against the naive
+// walk, and digest-accelerated Subsumed/Reduce/Union against the
+// definitional algorithms (subsume.Naive). Each operation runs as
+// op/<variant> so `make bench-tree` can record the speedups and the
+// allocation profile into BENCH_tree.json. Fast variants run after a
+// digest warm-up: steady state for a live system, where every subtree
+// was hashed when it was first merged.
+package axml_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"axml/internal/pattern"
+	"axml/internal/subsume"
+	"axml/internal/tree"
+	"axml/internal/workload"
+)
+
+// benchTreeNodes is the document scale the tentpole targets.
+const benchTreeNodes = 1_000_000
+
+// inventoryTree builds a deterministic catalog: depts × items of
+// item{sku{v},qty{v}} (5 nodes per item) plus a single needle item. With
+// depts=100 the tree is ~5·depts·items nodes and the needle's candidate
+// list has length one.
+func inventoryTree(depts, items int) *tree.Node {
+	root := tree.NewLabel("catalog")
+	for i := 0; i < depts; i++ {
+		dept := tree.NewLabel("dept")
+		for j := 0; j < items; j++ {
+			dept.Add(tree.NewLabel("item",
+				tree.NewLabel("sku", tree.NewValue(fmt.Sprintf("sku-%d-%d", i, j))),
+				tree.NewLabel("qty", tree.NewValue(fmt.Sprintf("%d", j%97))),
+			))
+		}
+		root.Add(dept)
+	}
+	root.Children[depts/2].Add(tree.NewLabel("item",
+		tree.NewLabel("sku", tree.NewValue("needle")),
+		tree.NewLabel("qty", tree.NewValue("1")),
+	))
+	return root
+}
+
+func BenchmarkTree(b *testing.B) {
+	defer func(old bool) { subsume.Naive = old }(subsume.Naive)
+
+	// ---- pattern matching: needle lookup in a 10⁶-node catalog ----
+	doc := inventoryTree(100, 2000) // 100 depts × 2000 items × 5 + needle ≈ 10⁶ nodes
+	needle := pattern.Label("catalog",
+		pattern.LVar("d",
+			pattern.Label("item",
+				pattern.Label("sku", pattern.Value("needle")),
+				pattern.Label("qty", pattern.VVar("q")))))
+	ix := pattern.NewIndex(doc) // build cost excluded: indexes live with the document
+
+	b.Run("match/naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := pattern.Match(needle, doc); len(got) != 1 {
+				b.Fatalf("got %d matches", len(got))
+			}
+		}
+	})
+	b.Run("match/indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := ix.Match(needle, doc); len(got) != 1 {
+				b.Fatalf("got %d matches", len(got))
+			}
+		}
+	})
+
+	// ---- subsumption / reduction / union on random redundant trees ----
+	// The fast variants measure the steady state of a live monotone
+	// system: trees that were reduced when they were last merged (digest
+	// memos warm, reduced flags set), now re-checked or re-merged. The
+	// naive variants run the definitional algorithms on the same trees.
+	rng := rand.New(rand.NewSource(42))
+	raw := workload.RandomTree(rng, workload.TreeConfig{Nodes: benchTreeNodes, Redundancy: 0.3})
+	big := subsume.Reduce(raw)
+	grown := big.Copy()
+	grown.Add(workload.RandomTree(rng, workload.TreeConfig{Nodes: 64}))
+	grown = subsume.Reduce(grown)
+	_, _ = big.Digest(), grown.Digest()
+
+	variants := []struct {
+		name  string
+		naive bool
+	}{{"fast", false}, {"naive", true}}
+
+	for _, v := range variants {
+		b.Run("subsumed/"+v.name, func(b *testing.B) {
+			subsume.Naive = v.naive
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !subsume.Subsumed(big, grown) {
+					b.Fatal("expected big ⊆ grown")
+				}
+			}
+		})
+	}
+	for _, v := range variants {
+		// Re-reducing an already-reduced document: what every merge and
+		// every out-of-band push pays before results are usable.
+		// Reduction is idempotent, so the tree can be reused across
+		// iterations.
+		b.Run("reduce/"+v.name, func(b *testing.B) {
+			subsume.Naive = v.naive
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if subsume.ReduceInPlace(big) == nil {
+					b.Fatal("nil reduction")
+				}
+			}
+		})
+	}
+	for _, v := range variants {
+		b.Run("union/"+v.name, func(b *testing.B) {
+			subsume.Naive = v.naive
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if subsume.Union(big, grown) == nil {
+					b.Fatal("nil union")
+				}
+			}
+		})
+	}
+}
