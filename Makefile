@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke bench bench-tree bench-compare bench-check verify
+.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke chaos bench bench-tree bench-fleet bench-compare bench-check verify
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,16 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalTree$$' -fuzztime=5s
 	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalEnvelope$$' -fuzztime=5s
+	$(GO) test ./internal/peer -run='^$$' -fuzz='^FuzzUnmarshalDelta$$' -fuzztime=5s
 	$(GO) test ./internal/tree -run='^$$' -fuzz='^FuzzSymDigestStability$$' -fuzztime=5s
+
+# The sharded-fleet chaos acceptance: ten durable peers, consistent-hash
+# routing, delta replication under injected message loss, crash-restarts,
+# stale anchors and duplicated deliveries must converge every owner to
+# the single-peer fixpoint digest, and one increment's delta must stay a
+# small constant on the wire while a full pull grows with the document.
+chaos:
+	$(GO) test ./internal/peer -run 'TestFleetChaosConvergence|TestDeltaWireBytesSublinear' -count=1 -v
 
 # The parallel-engine speedup benchmark: raw output lands in bench.out
 # (benchstat-compatible, see bench-compare), the JSON trajectory point
@@ -58,6 +67,14 @@ bench-tree:
 	$(GO) test -run '^$$' -bench 'BenchmarkTree$$' -benchmem -benchtime 3x -count 1 -timeout 30m . | tee bench.tree.out
 	scripts/bench-json.sh -tree < bench.tree.out > BENCH_tree.json
 	@echo wrote BENCH_tree.json
+
+# The replication-wire benchmark: propagating one increment to a replica
+# through a full re-pull vs a digest-anchored delta, with served wire
+# bytes per sync. The JSON trajectory point lands in BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet$$' -benchmem -benchtime 3x -count 1 -timeout 30m . | tee bench.fleet.out
+	scripts/bench-json.sh -fleet < bench.fleet.out > BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
 
 # Compare two saved bench.out files: make bench-compare OLD=a.out NEW=b.out
 OLD ?= bench.old
@@ -77,9 +94,12 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkTree$$' -benchmem -benchtime 3x -count 1 -timeout 30m . > bench.check.out
 	scripts/bench-json.sh -tree < bench.check.out > bench.check.json
 	scripts/bench-compare.sh -check BENCH_tree.json bench.check.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet$$' -benchmem -benchtime 3x -count 1 -timeout 30m . > bench.check.out
+	scripts/bench-json.sh -fleet < bench.check.out > bench.check.json
+	scripts/bench-compare.sh -check BENCH_fleet.json bench.check.json
 	@rm -f bench.check.out bench.check.json
 
 # Tier-1 verify: build + tests, extended with gofmt, go vet (test files
 # of the test-less cmd packages included), the logging lint, the race
-# detector and the fuzz smoke run.
-verify: build fmt vet vet-cmd vet-obs test race fuzz-smoke
+# detector, the fuzz smoke run and the sharded-fleet chaos acceptance.
+verify: build fmt vet vet-cmd vet-obs test race fuzz-smoke chaos

@@ -20,6 +20,21 @@
 // process survives kill -9 and rejoins its fleet at the point it died,
 // re-deriving anything lost in the torn tail by re-sweeping.
 //
+// Replication: -mirror DOC=URL keeps a local replica of a remote peer's
+// document current through digest-anchored deltas (only divergent
+// subtrees travel; see /axml/delta), and -anti-entropy-every runs a
+// periodic repair pass that re-syncs any replica whose digest drifted.
+// -delta-anchors bounds the per-document anchor states this peer caches
+// for its own delta answers.
+//
+// Sharding: -shard-self NAME plus repeated -shard-peer NAME=URL front
+// the peer with a consistent-hash router — each document belongs to
+// -replicas owners on the ring, and requests for documents this peer
+// does not own are forwarded to an owner:
+//
+//	axml-peer -listen :8080 -system store.axml -shard-self a \
+//	    -shard-peer b=http://b.example:8080 -shard-peer c=http://c.example:8080
+//
 // Observability: -debug-addr starts a second listener serving
 // expvar-compatible metrics at /debug/vars (the peer's counters under
 // the "axml" key: engine.*, mw.*, peer.*, journal.*) and the live pprof
@@ -31,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -61,8 +77,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "append JSON trace spans, one per line, to this file (empty = off)")
 	traceSample := flag.Int("trace-sample", 1, "keep one call span in every n (sweep/merge spans are never sampled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	deltaAnchors := flag.Int("delta-anchors", 0, "per-document delta anchor states cached for /axml/delta (0 = default, negative disables delta serving)")
+	antiEntropyEvery := flag.Duration("anti-entropy-every", 0, "run an anti-entropy repair pass over the registered mirrors at this interval (0 disables)")
+	shardSelf := flag.String("shard-self", "", "this peer's name on the consistent-hash ring (empty = unsharded)")
+	replicas := flag.Int("replicas", 2, "owners per document on the ring (sharded mode)")
 	var remotes remoteFlags
 	flag.Var(&remotes, "remote", "remote service binding NAME=URL (repeatable)")
+	var shardPeers remoteFlags
+	flag.Var(&shardPeers, "shard-peer", "fleet member NAME=URL (repeatable; sharded mode)")
+	var mirrors remoteFlags
+	flag.Var(&mirrors, "mirror", "replicate document DOC=URL from the peer at URL (repeatable)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -143,6 +167,16 @@ func main() {
 	if *degrade {
 		policy = core.Degrade
 	}
+	// Mirrored documents that the system file does not declare get an
+	// empty replica seed; the first sync adopts the remote root marking
+	// and replication then fills them by LUB merge.
+	for _, m := range mirrors {
+		if sys.Document(m.name) == nil {
+			if err := sys.AddDocument(peer.NewReplicaDoc(m.name, m.name)); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	p, rec, err := peer.Open(*name, sys,
 		peer.WithDurability(peer.Durability{
 			Dir:           *dataDir,
@@ -154,9 +188,23 @@ func main() {
 		peer.WithObservability(metrics),
 		peer.WithTracer(tracer),
 		peer.WithLogger(logger),
+		peer.WithDeltaAnchors(*deltaAnchors),
 	)
 	if err != nil {
 		fatal(err)
+	}
+	for _, m := range mirrors {
+		p.AddMirror(&peer.Mirror{Remote: m.url, RemoteDoc: m.name, LocalDoc: m.name, Client: client})
+		logger.Info("mirroring", "peer", *name, "doc", m.name, "remote", m.url)
+	}
+	if *antiEntropyEvery > 0 {
+		go func() {
+			for range time.Tick(*antiEntropyEvery) {
+				if n, err := p.AntiEntropy(context.Background()); err != nil {
+					logger.Warn("anti-entropy", "peer", *name, "resynced", n, "err", err)
+				}
+			}
+		}()
 	}
 	if *dataDir != "" {
 		logger.Info("durable",
@@ -174,10 +222,32 @@ func main() {
 			}
 		}()
 	}
+	// Sharded mode: front the peer with a consistent-hash router. The
+	// fleet is the self name plus every -shard-peer binding; documents
+	// this peer does not own are forwarded to their owners.
+	var handler http.Handler = p.Handler()
+	if *shardSelf != "" {
+		names := []string{*shardSelf}
+		urls := make(map[string]string, len(shardPeers)+1)
+		for _, sp := range shardPeers {
+			// A -shard-peer binding for self is allowed (it lets every
+			// fleet member share one flag list) but must not duplicate
+			// the ring entry.
+			if sp.name != *shardSelf {
+				names = append(names, sp.name)
+			}
+			urls[sp.name] = sp.url
+		}
+		ring := peer.NewRing(names, 0)
+		handler = peer.NewRouter(p, *shardSelf, ring,
+			func(name string) string { return urls[name] }, *replicas)
+		logger.Info("sharded",
+			"peer", *shardSelf, "fleet", fmt.Sprint(names), "replicas", *replicas)
+	}
 	logger.Info("serving",
 		"peer", *name, "system", *systemFile, "listen", *listen,
 		"docs", fmt.Sprint(sys.DocNames()), "services", fmt.Sprint(sys.FuncNames()))
-	fatal(http.ListenAndServe(*listen, p.Handler()))
+	fatal(http.ListenAndServe(*listen, handler))
 }
 
 type remoteBinding struct{ name, url string }

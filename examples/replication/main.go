@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,17 +35,19 @@ func NewArrivals = item{"cool-jazz"} :-
 	local := axml.NewPeer("cache", localSys)
 	m := &peer.Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "replica"}
 
-	// Round 1: initial pull.
-	if _, err := m.Sync(local); err != nil {
+	// Round 1: initial pull (a full tree — the mirror has no anchor yet).
+	ctx := context.Background()
+	if _, err := m.Sync(ctx, local); err != nil {
 		log.Fatal(err)
 	}
 	show(local, "after first sync")
 
-	// The remote evolves (its service fires), the replica catches up.
+	// The remote evolves (its service fires), the replica catches up —
+	// this time over a digest-anchored delta carrying only the growth.
 	if _, err := remotePeer.Sweep(); err != nil {
 		log.Fatal(err)
 	}
-	rounds, stable, err := m.SyncUntilStable(local, 10)
+	rounds, stable, err := m.SyncUntilStable(ctx, local, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

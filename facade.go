@@ -40,6 +40,12 @@ type (
 	RecoveryInfo = peer.RecoveryInfo
 	// PeerOption configures a peer at construction (see OpenPeer).
 	PeerOption = peer.Option
+	// Ring is a consistent-hash ring partitioning documents over peers.
+	Ring = peer.Ring
+	// Router fronts a sharded peer, forwarding unowned documents.
+	Router = peer.Router
+	// Delta is one digest-anchored replication record.
+	Delta = peer.Delta
 )
 
 // Distributed entry points.
@@ -70,12 +76,20 @@ var (
 	WithTracer = peer.WithTracer
 	// WithLogger routes a peer's structured logs.
 	WithLogger = peer.WithLogger
+	// WithDeltaAnchors bounds the per-document delta anchor cache.
+	WithDeltaAnchors = peer.WithDeltaAnchors
+	// NewRing builds a consistent-hash ring over peer names.
+	NewRing = peer.NewRing
+	// NewRouter wraps a peer's handler for fleet routing.
+	NewRouter = peer.NewRouter
 	// NewPublisher wraps a peer for push mode.
 	NewPublisher = peer.NewPublisher
 	// NewSubscriber wraps a peer to receive pushes.
 	NewSubscriber = peer.NewSubscriber
 	// FetchDoc pulls a document from a peer.
 	FetchDoc = peer.FetchDoc
+	// FetchDelta pulls a document's growth since an acked digest.
+	FetchDelta = peer.FetchDelta
 	// FetchHashes pulls a peer's per-document digests (anti-entropy).
 	FetchHashes = peer.FetchHashes
 	// MarshalTree and UnmarshalTree move trees through the XML wire

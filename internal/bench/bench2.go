@@ -290,7 +290,7 @@ func Hop%d = t{a{$x},b{$y}} :- input/input{t{a{$x},b{$z}}}, edges/r{t{a{$z},b{$y
 	urls = append(urls, colSrv.URL)
 
 	coord := &peer.Coordinator{URLs: urls}
-	res, err := coord.RunToFixpoint()
+	res, err := coord.RunToFixpoint(context.Background())
 	if err != nil {
 		return 0, 0, false, err
 	}

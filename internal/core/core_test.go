@@ -644,3 +644,28 @@ func f = p{$x,$y} :- d/r{v{$x},v{$y}}, $x != $y, $x != "9"
 		t.Fatalf("inequality rendering not re-parseable: %v\n%s", err, src)
 	}
 }
+
+func TestRestoreAdoptsVirginSeedRoot(t *testing.T) {
+	s := MustParseSystem(`
+doc seed = guess
+doc busy = zzz{x{"1"}}
+`)
+	incoming := tree.NewLabel("db",
+		tree.NewLabel("entry", tree.NewValue("a")))
+	changed, err := s.Restore("seed", incoming)
+	if err != nil || !changed {
+		t.Fatalf("restore onto childless seed: changed=%v err=%v", changed, err)
+	}
+	root := s.Document("seed").Root
+	if root.Name != "db" || len(root.Children) != 1 {
+		t.Fatalf("seed did not adopt incoming root: %s", root.CanonicalString())
+	}
+	// Idempotent: restoring the same state again reports no growth.
+	if changed, err = s.Restore("seed", incoming); err != nil || changed {
+		t.Fatalf("re-restore: changed=%v err=%v", changed, err)
+	}
+	// A root that already carries information still refuses adoption.
+	if _, err = s.Restore("busy", incoming); err == nil {
+		t.Fatal("incomparable non-empty roots accepted")
+	}
+}

@@ -284,11 +284,19 @@ func (s *System) Restore(name string, root *tree.Node) (changed bool, err error)
 	if root == nil {
 		return false, fmt.Errorf("core: restore of %q with nil tree", name)
 	}
-	if doc.Root.Kind != root.Kind || doc.Root.Name != root.Name {
-		return false, fmt.Errorf("core: restore of %q: incomparable roots %q vs %q",
-			name, doc.Root.Name, root.Name)
-	}
 	before := doc.Root.CanonicalHash()
+	if doc.Root.Kind != root.Kind || doc.Root.Name != root.Name {
+		if doc.Root.Kind != tree.Label || root.Kind != tree.Label ||
+			len(doc.Root.Children) != 0 {
+			return false, fmt.Errorf("core: restore of %q: incomparable roots %q vs %q",
+				name, doc.Root.Name, root.Name)
+		}
+		// A childless label root is a replica seed created before the
+		// remote marking was known (peer.NewReplicaDoc with a guessed
+		// label); it carries no information, so adopt the incoming
+		// marking instead of refusing the restore.
+		doc.Root = tree.NewLabel(root.Name)
+	}
 	merged := subsume.Union(doc.Root, root)
 	if merged == nil {
 		return false, fmt.Errorf("core: restore of %q: union failed", name)

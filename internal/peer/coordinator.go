@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,9 +38,10 @@ type FixpointResult struct {
 }
 
 // RunToFixpoint repeatedly asks every peer for one local sweep, until a
-// full round reports no change anywhere (confirmed by state digests) or
-// the round budget runs out.
-func (c *Coordinator) RunToFixpoint() (FixpointResult, error) {
+// full round reports no change anywhere (confirmed by state digests), the
+// round budget runs out, or ctx is cancelled (the error is then the
+// context's).
+func (c *Coordinator) RunToFixpoint(ctx context.Context) (FixpointResult, error) {
 	client := c.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
@@ -51,16 +53,19 @@ func (c *Coordinator) RunToFixpoint() (FixpointResult, error) {
 	var res FixpointResult
 	prevDigest := ""
 	for res.Rounds < maxRounds {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Rounds++
 		anyChanged := false
 		for _, u := range c.URLs {
-			changed, err := sweepOnce(client, u)
+			changed, err := sweepOnce(ctx, client, u)
 			if err != nil {
 				return res, err
 			}
 			anyChanged = anyChanged || changed
 		}
-		digest, err := c.globalDigest(client)
+		digest, err := c.globalDigest(ctx, client)
 		if err != nil {
 			return res, err
 		}
@@ -73,8 +78,14 @@ func (c *Coordinator) RunToFixpoint() (FixpointResult, error) {
 	return res, nil
 }
 
-func sweepOnce(client *http.Client, baseURL string) (bool, error) {
-	resp, err := client.Post(baseURL+PathSweep, "text/plain", strings.NewReader(""))
+func sweepOnce(ctx context.Context, client *http.Client, baseURL string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+PathSweep,
+		strings.NewReader(""))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
 	if err != nil {
 		return false, err
 	}
@@ -89,10 +100,14 @@ func sweepOnce(client *http.Client, baseURL string) (bool, error) {
 	return strings.TrimSpace(string(body)) == "changed", nil
 }
 
-func (c *Coordinator) globalDigest(client *http.Client) (string, error) {
+func (c *Coordinator) globalDigest(ctx context.Context, client *http.Client) (string, error) {
 	var b strings.Builder
 	for _, u := range c.URLs {
-		resp, err := client.Get(u + PathHash)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+PathHash, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return "", err
 		}

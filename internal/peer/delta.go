@@ -1,0 +1,568 @@
+package peer
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+
+	"axml/internal/subsume"
+	"axml/internal/tree"
+)
+
+// Delta replication. Prop 3.1 monotonicity means a peer's documents only
+// grow by least-upper-bound merge, so replication never needs to ship a
+// whole tree: a subtree delta since the last acknowledged digest is a
+// sound CRDT-style update. The server keeps a bounded cache of recent
+// document states keyed by their digest (the anchors). A receiver asks
+// "give me what changed since digest D"; when the anchor is cached the
+// server answers with a patch — a recursive digest-diff of the current
+// tree against the anchor, carrying only the spine down to divergent
+// subtrees plus the new subtrees themselves — and when it is not (cache
+// rotated out, receiver never synced, digests disagree) it falls back to
+// the full tree. Applying a patch is a digest-targeted in-place merge
+// that reproduces Union(local, fullRemote) exactly, or reports that it
+// cannot (the receiver's tree diverged at a spine position), in which
+// case the receiver falls back to a full pull. Every fallback is safe:
+// the delta path is an optimization over the same LUB merge, never a
+// different semantics.
+
+// Delta wire element names and attributes (reserved: AXML labels cannot
+// contain ':').
+const (
+	elemDelta = "ax:delta"
+	elemPatch = "ax:patch"
+	attrMode  = "mode"
+	attrFrom  = "from"
+	attrTo    = "to"
+	attrKind  = "kind"
+	attrBase  = "base"
+)
+
+// Delta response modes.
+const (
+	// DeltaSame: the receiver's anchor is the current state; no payload.
+	DeltaSame = "same"
+	// DeltaPatch: the payload is a patch against the anchor state.
+	DeltaPatch = "delta"
+	// DeltaFull: the payload is the full tree (anchor unknown or unusable).
+	DeltaFull = "full"
+)
+
+// Delta is one delta-replication wire record: the answer to "what
+// changed in document Doc since state From".
+type Delta struct {
+	// Doc is the document name.
+	Doc string
+	// Mode is DeltaSame, DeltaPatch or DeltaFull.
+	Mode string
+	// From is the anchor digest the patch is computed against (DeltaPatch
+	// only; empty otherwise).
+	From string
+	// To is the digest of the document state this record brings the
+	// receiver up to — the receiver's next anchor.
+	To string
+	// Full carries the whole tree in DeltaFull mode.
+	Full *tree.Node
+	// Patch carries the digest-diff in DeltaPatch mode.
+	Patch *Patch
+}
+
+// Patch is one node of a recursive digest-diff: the spine from the
+// document root down to the subtrees that changed since the anchor
+// state. Adds are whole new subtrees to merge in at this position;
+// Spines descend into children that exist in the anchor but grew below.
+// Base identifies (by subtree digest in the anchor state) which child of
+// the receiver's tree a spine patch targets — the receiver refuses to
+// guess: if no child carries that digest the whole apply fails and the
+// caller falls back to a full pull.
+type Patch struct {
+	// Kind is the patched node's kind (Label or Func — Value nodes are
+	// leaves and never carry a patch).
+	Kind tree.Kind
+	// Name is the patched node's marking.
+	Name string
+	// Base is the digest of this node's subtree in the anchor state (for
+	// the root patch it equals the record's From).
+	Base string
+	// Spines are patches into children shared with the anchor.
+	Spines []*Patch
+	// Adds are new subtrees appended under this node since the anchor.
+	Adds tree.Forest
+}
+
+// digestHex renders the memoized structural digest in the same truncated
+// format PathHash advertises (docDigest): 8 bytes, 16 hex characters.
+// Digest and CanonicalHash agree on the same tree by contract.
+func digestHex(n *tree.Node) string {
+	h := n.Digest()
+	return fmt.Sprintf("%x", h[:8])
+}
+
+// ---------------------------------------------------------------------
+// Diff (server side): prune the current tree against a cached anchor.
+
+// PruneSince computes the patch that carries cur's growth since anchor:
+// Union(anchor, patch-materialized) is equivalent to cur, provided
+// anchor ⊑ cur (monotone growth — the caller checks) and both trees are
+// reduced (the system invariant). Children of cur whose digest also
+// appears among the anchor node's children are dropped — the receiver
+// provably has them; a child that shares its marking uniquely with one
+// remaining anchor child is diffed recursively (the remaining anchor
+// child is necessarily subsumed by it: anchor siblings are mutually
+// incomparable, so it cannot hide under a dropped child); everything
+// else ships whole. Returns nil when cur and anchor are identical.
+func PruneSince(cur, anchor *tree.Node) *Patch {
+	if cur == nil || anchor == nil || !cur.SameMarking(anchor) {
+		return nil
+	}
+	if cur.Digest() == anchor.Digest() {
+		return nil
+	}
+	return pruneNode(cur, anchor)
+}
+
+func pruneNode(cur, anchor *tree.Node) *Patch {
+	p := &Patch{Kind: cur.Kind, Name: cur.Name, Base: digestHex(anchor)}
+
+	// 1. Digest-matched children are already at the receiver: drop them.
+	// Multiset matching — each anchor child covers at most one cur child.
+	avail := make(map[tree.Hash][]*tree.Node, len(anchor.Children))
+	for _, a := range anchor.Children {
+		d := a.Digest()
+		avail[d] = append(avail[d], a)
+	}
+	var restCur []*tree.Node
+	for _, c := range cur.Children {
+		d := c.Digest()
+		if as := avail[d]; len(as) > 0 {
+			avail[d] = as[:len(as)-1]
+			continue
+		}
+		restCur = append(restCur, c)
+	}
+	var restAnchor []*tree.Node
+	for _, as := range avail {
+		restAnchor = append(restAnchor, as...)
+	}
+
+	// 2. A remaining pair sharing a marking uniquely on both sides is a
+	// grown subtree: diff it recursively instead of shipping it whole.
+	curBySym := make(map[tree.Sym][]*tree.Node)
+	for _, c := range restCur {
+		curBySym[c.Sym()] = append(curBySym[c.Sym()], c)
+	}
+	anchorBySym := make(map[tree.Sym][]*tree.Node)
+	for _, a := range restAnchor {
+		anchorBySym[a.Sym()] = append(anchorBySym[a.Sym()], a)
+	}
+	for _, c := range restCur {
+		sym := c.Sym()
+		if c.Kind != tree.Value && len(curBySym[sym]) == 1 && len(anchorBySym[sym]) == 1 {
+			p.Spines = append(p.Spines, pruneNode(c, anchorBySym[sym][0]))
+			continue
+		}
+		// 3. Ambiguous or brand-new: ship the whole subtree.
+		p.Adds = append(p.Adds, c.Copy())
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------
+// Apply (receiver side): digest-targeted in-place merge.
+
+// errPatchMismatch reports a spine whose base digest has no counterpart
+// in the receiver's tree — the signal to fall back to a full pull.
+var errPatchMismatch = fmt.Errorf("peer: patch base not present (tree diverged)")
+
+// ApplyPatch merges a patch into the local tree in place, reproducing
+// exactly what Union(local, fullRemote) would have produced, and reports
+// whether anything changed. When any spine's base digest finds no
+// matching child in the local tree (the local replica diverged from the
+// sender's anchor at that position — local-only growth, a missed
+// delivery, a crash that lost the anchor), it returns errPatchMismatch
+// WITHOUT mutating anything, and the caller performs a full pull
+// instead. The local tree must be reduced on entry; it is reduced again
+// (along the changed spine only, via the known-reduced flags) before
+// returning.
+func ApplyPatch(local *tree.Node, p *Patch) (changed bool, err error) {
+	if local == nil || p == nil {
+		return false, nil
+	}
+	if local.Kind != p.Kind || local.Name != p.Name {
+		return false, fmt.Errorf("peer: patch root %s does not match document root %s",
+			p.Name, local.Name)
+	}
+	// Dry run first: a mismatch deep in the patch must not leave a
+	// half-applied tree behind.
+	if !patchApplies(local, p) {
+		return false, errPatchMismatch
+	}
+	before := local.Digest()
+	applyPatchNode(local, p)
+	subsume.ReduceInPlace(local)
+	return local.Digest() != before, nil
+}
+
+// patchApplies checks every spine of the patch finds its base digest.
+func patchApplies(local *tree.Node, p *Patch) bool {
+	for _, sp := range p.Spines {
+		target := childByDigest(local, sp.Base)
+		if target == nil || !patchApplies(target, sp) {
+			return false
+		}
+	}
+	return true
+}
+
+// childByDigest finds the child whose subtree digest renders as hex.
+// Reduced trees never hold two digest-equal siblings (they would subsume
+// each other), so the match is unique when present.
+func childByDigest(n *tree.Node, hex string) *tree.Node {
+	for _, c := range n.Children {
+		if digestHex(c) == hex {
+			return c
+		}
+	}
+	return nil
+}
+
+// applyPatchNode splices the patch in: adds are appended (copied — the
+// patch may be re-applied or retained by the caller), spines recurse
+// into their digest-matched children. The touched nodes' digests and
+// reduced flags are invalidated so the closing reduction and later
+// digest reads see the mutation.
+func applyPatchNode(local *tree.Node, p *Patch) {
+	// Resolve spine targets before appending adds: an added subtree could
+	// coincidentally carry a spine's base digest.
+	targets := make([]*tree.Node, len(p.Spines))
+	for i, sp := range p.Spines {
+		targets[i] = childByDigest(local, sp.Base)
+	}
+	if len(p.Adds) > 0 {
+		for _, a := range p.Adds {
+			local.Children = append(local.Children, a.Copy())
+		}
+	}
+	for i, sp := range p.Spines {
+		applyPatchNode(targets[i], sp)
+	}
+	local.InvalidateDigest()
+}
+
+// Materialize renders the patch as a plain tree (spine markings plus
+// added subtrees, bases dropped). Union(anchorState, Materialize(p)) is
+// equivalent to the state the patch was computed from — the property the
+// differential tests pin.
+func (p *Patch) Materialize() *tree.Node {
+	if p == nil {
+		return nil
+	}
+	n := &tree.Node{Kind: p.Kind, Name: p.Name}
+	for _, sp := range p.Spines {
+		n.Children = append(n.Children, sp.Materialize())
+	}
+	for _, a := range p.Adds {
+		n.Children = append(n.Children, a.Copy())
+	}
+	return n
+}
+
+// size returns the number of patch nodes plus added-tree nodes — the
+// payload size a delta ships, for metrics.
+func (p *Patch) size() int {
+	if p == nil {
+		return 0
+	}
+	n := 1
+	for _, sp := range p.Spines {
+		n += sp.size()
+	}
+	for _, a := range p.Adds {
+		n += a.Size()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Anchor cache (server side).
+
+// deltaAnchors remembers recent states of each document, keyed by the
+// digest a receiver would hold as its anchor. Bounded per document:
+// serving a state whose digest is not cached falls back to a full tree,
+// so the cache is purely an optimization and its size a memory/wire
+// trade-off. Guarded by the peer mutex.
+type deltaAnchors struct {
+	max  int
+	docs map[string][]anchorState // newest last
+}
+
+type anchorState struct {
+	digest string
+	root   *tree.Node // deep copy, never mutated after insertion
+}
+
+// defaultDeltaAnchors is the per-document anchor bound when
+// WithDeltaAnchors is not given.
+const defaultDeltaAnchors = 4
+
+func newDeltaAnchors(max int) *deltaAnchors {
+	return &deltaAnchors{max: max, docs: make(map[string][]anchorState)}
+}
+
+// lookup returns the cached state with the given digest, or nil. Safe on
+// a nil cache (delta serving disabled).
+func (da *deltaAnchors) lookup(doc, digest string) *tree.Node {
+	if da == nil {
+		return nil
+	}
+	for _, st := range da.docs[doc] {
+		if st.digest == digest {
+			return st.root
+		}
+	}
+	return nil
+}
+
+// remember caches the current state of a document under its digest
+// (copying the tree), evicting the oldest entry beyond the bound. A
+// digest already cached is refreshed in place (no copy). Safe on a nil
+// cache (no-op).
+func (da *deltaAnchors) remember(doc, digest string, root *tree.Node) {
+	if da == nil {
+		return
+	}
+	states := da.docs[doc]
+	for i := range states {
+		if states[i].digest == digest {
+			// Move to the back: most recently served, last to evict.
+			st := states[i]
+			copy(states[i:], states[i+1:])
+			states[len(states)-1] = st
+			da.docs[doc] = states
+			return
+		}
+	}
+	states = append(states, anchorState{digest: digest, root: root.Copy()})
+	if len(states) > da.max {
+		states = states[len(states)-da.max:]
+	}
+	da.docs[doc] = states
+}
+
+// ---------------------------------------------------------------------
+// Wire codec.
+
+// MarshalDelta renders a delta record:
+//
+//	<ax:delta name="doc" mode="same|full|delta" [from="hex"] to="hex">
+//	  full mode:  one tree
+//	  delta mode: one ax:patch element
+//	</ax:delta>
+//
+// and a patch node as
+//
+//	<ax:patch kind="label|func" name="n" base="hex">
+//	  nested ax:patch spines, then added trees
+//	</ax:patch>
+func MarshalDelta(d Delta) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	attrs := []xml.Attr{
+		{Name: xml.Name{Local: attrName}, Value: d.Doc},
+		{Name: xml.Name{Local: attrMode}, Value: d.Mode},
+	}
+	if d.From != "" {
+		attrs = append(attrs, xml.Attr{Name: xml.Name{Local: attrFrom}, Value: d.From})
+	}
+	attrs = append(attrs, xml.Attr{Name: xml.Name{Local: attrTo}, Value: d.To})
+	start := xml.StartElement{Name: xml.Name{Local: elemDelta}, Attr: attrs}
+	if err := enc.EncodeToken(start); err != nil {
+		return nil, err
+	}
+	switch d.Mode {
+	case DeltaSame:
+	case DeltaFull:
+		if d.Full == nil {
+			return nil, fmt.Errorf("peer: full delta without tree")
+		}
+		if err := encodeNode(enc, d.Full); err != nil {
+			return nil, err
+		}
+	case DeltaPatch:
+		if d.Patch == nil {
+			return nil, fmt.Errorf("peer: patch delta without patch")
+		}
+		if err := encodePatch(enc, d.Patch); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("peer: unknown delta mode %q", d.Mode)
+	}
+	if err := enc.EncodeToken(start.End()); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodePatch(enc *xml.Encoder, p *Patch) error {
+	kind := "label"
+	if p.Kind == tree.Func {
+		kind = "func"
+	}
+	start := xml.StartElement{Name: xml.Name{Local: elemPatch}, Attr: []xml.Attr{
+		{Name: xml.Name{Local: attrKind}, Value: kind},
+		{Name: xml.Name{Local: attrName}, Value: p.Name},
+		{Name: xml.Name{Local: attrBase}, Value: p.Base},
+	}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, sp := range p.Spines {
+		if err := encodePatch(enc, sp); err != nil {
+			return err
+		}
+	}
+	for _, a := range p.Adds {
+		if err := encodeNode(enc, a); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// UnmarshalDelta parses a delta record.
+func UnmarshalDelta(data []byte) (Delta, error) {
+	var d Delta
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	start, err := firstStart(dec)
+	if err != nil || wireName(start.Name) != elemDelta {
+		return d, fmt.Errorf("peer: bad delta: %v", err)
+	}
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case attrName:
+			d.Doc = a.Value
+		case attrMode:
+			d.Mode = a.Value
+		case attrFrom:
+			d.From = a.Value
+		case attrTo:
+			d.To = a.Value
+		}
+	}
+	if d.Doc == "" {
+		return d, fmt.Errorf("peer: delta without document name")
+	}
+	switch d.Mode {
+	case DeltaSame:
+		return d, nil
+	case DeltaFull:
+		n, err := decodeNext(dec)
+		if err != nil {
+			return d, err
+		}
+		if n == nil {
+			return d, fmt.Errorf("peer: full delta without tree")
+		}
+		d.Full = n
+		return d, nil
+	case DeltaPatch:
+		p, err := decodeNextPatch(dec)
+		if err != nil {
+			return d, err
+		}
+		if p == nil {
+			return d, fmt.Errorf("peer: patch delta without patch")
+		}
+		d.Patch = p
+		return d, nil
+	default:
+		return d, fmt.Errorf("peer: unknown delta mode %q", d.Mode)
+	}
+}
+
+// decodeNextPatch reads the next ax:patch element, skipping whitespace;
+// returns nil at end of the enclosing element.
+func decodeNextPatch(dec *xml.Decoder) (*Patch, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if wireName(t.Name) != elemPatch {
+				return nil, fmt.Errorf("peer: expected %s, found %s", elemPatch, wireName(t.Name))
+			}
+			return decodePatchElement(dec, t)
+		case xml.EndElement:
+			return nil, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) != 0 {
+				return nil, fmt.Errorf("peer: unexpected character data %q in patch", string(t))
+			}
+		}
+	}
+}
+
+func decodePatchElement(dec *xml.Decoder, start xml.StartElement) (*Patch, error) {
+	p := &Patch{}
+	kind := ""
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case attrKind:
+			kind = a.Value
+		case attrName:
+			p.Name = a.Value
+		case attrBase:
+			p.Base = a.Value
+		}
+	}
+	switch kind {
+	case "label":
+		p.Kind = tree.Label
+		if !validWireLabel(p.Name) {
+			return nil, fmt.Errorf("peer: patch label %q does not round-trip", p.Name)
+		}
+	case "func":
+		p.Kind = tree.Func
+		if p.Name == "" {
+			return nil, fmt.Errorf("peer: func patch without service name")
+		}
+	default:
+		return nil, fmt.Errorf("peer: patch kind %q (want label or func)", kind)
+	}
+	// Children: spines (ax:patch) come first, then added trees — but
+	// accept any interleaving on decode (the split is by element name).
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if wireName(t.Name) == elemPatch {
+				sp, err := decodePatchElement(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				p.Spines = append(p.Spines, sp)
+				continue
+			}
+			n, err := decodeElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			p.Adds = append(p.Adds, n)
+		case xml.EndElement:
+			return p, nil
+		case xml.CharData:
+			if len(bytes.TrimSpace(t)) != 0 {
+				return nil, fmt.Errorf("peer: unexpected character data %q in patch", string(t))
+			}
+		}
+	}
+}

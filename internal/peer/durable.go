@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -306,23 +307,33 @@ func (p *Peer) AddMirror(m *Mirror) {
 }
 
 // AntiEntropy compares each registered mirror's last-pulled remote digest
-// against the remote peer's advertised document hash and re-pulls the
+// against the remote peer's advertised document hash and repairs the
 // replicas that moved — the catch-up pass a recovered peer runs after
 // restart, when remote documents may have grown while it was down (and
-// its in-memory digests were lost). Returns the number of mirrors
-// re-synced. The first error is returned after all mirrors were tried;
-// unreachable remotes do not stop the others from catching up.
-func (p *Peer) AntiEntropy() (resynced int, err error) {
+// its in-memory digests were lost). The repair is a delta sync: the
+// remote prunes everything below digest-matched subtrees, so only
+// divergent fringes travel; a replica that diverged beyond what the
+// remote can anchor (e.g. right after a restart) degrades to a full
+// pull. Returns the number of mirrors re-synced. The first error is
+// returned after all mirrors were tried; unreachable remotes do not stop
+// the others from catching up.
+func (p *Peer) AntiEntropy(ctx context.Context) (resynced int, err error) {
 	p.mirrorMu.Lock()
 	mirrors := append([]*Mirror(nil), p.mirrors...)
 	p.mirrorMu.Unlock()
 	p.metrics.Counter("peer.antientropy.runs").Inc()
 	for _, m := range mirrors {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			break
+		}
 		client := m.Client
 		if client == nil {
 			client = p.client // the peer's outbound client (WithClient)
 		}
-		hashes, herr := FetchHashes(client, m.Remote)
+		hashes, herr := FetchHashes(ctx, client, m.Remote)
 		if herr != nil {
 			p.metrics.Counter("peer.antientropy.errors").Inc()
 			if err == nil {
@@ -334,7 +345,7 @@ func (p *Peer) AntiEntropy() (resynced int, err error) {
 		if ok && m.lastRemote != "" && remote == m.lastRemote {
 			continue // replica provably current
 		}
-		if _, serr := m.Sync(p); serr != nil {
+		if _, serr := m.Sync(ctx, p); serr != nil {
 			p.metrics.Counter("peer.antientropy.errors").Inc()
 			if err == nil {
 				err = serr
@@ -358,11 +369,16 @@ func docDigest(n *tree.Node) string {
 
 // FetchHashes pulls a peer's document digests ("name=digest;..." from
 // PathHash) as a map. A nil client means the shared DefaultClient.
-func FetchHashes(client *http.Client, baseURL string) (map[string]string, error) {
+// Cancel via ctx.
+func FetchHashes(ctx context.Context, client *http.Client, baseURL string) (map[string]string, error) {
 	if client == nil {
 		client = DefaultClient
 	}
-	resp, err := client.Get(baseURL + PathHash)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathHash, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

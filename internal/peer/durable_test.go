@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http/httptest"
@@ -268,7 +269,7 @@ doc replica = db
 	}
 	runToFixpoint := func(p *Peer, m *Mirror) {
 		for i := 0; i < 50; i++ {
-			synced, err := m.Sync(p)
+			synced, err := m.Sync(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -315,7 +316,7 @@ doc replica = db
 		// journal mid-write (or the run finishes first, for large
 		// crashAt — then the restart exercises clean-log recovery).
 		for i := 0; i < 50 && !crash.Crashed(); i++ {
-			if _, err := m1.Sync(p1); err != nil {
+			if _, err := m1.Sync(context.Background(), p1); err != nil {
 				t.Fatalf("crashAt=%d: %v", crashAt, err)
 			}
 			if crash.Crashed() {
@@ -345,7 +346,7 @@ doc replica = db
 		}
 		m2 := &Mirror{Remote: srv.URL, RemoteDoc: "ratings", LocalDoc: "replica"}
 		p2.AddMirror(m2)
-		if _, err := p2.AntiEntropy(); err != nil {
+		if _, err := p2.AntiEntropy(context.Background()); err != nil {
 			t.Fatalf("crashAt=%d: anti-entropy: %v", crashAt, err)
 		}
 		runToFixpoint(p2, m2)
@@ -375,13 +376,13 @@ func TestAntiEntropySkipsCurrentReplicas(t *testing.T) {
 	p.AddMirror(m)
 
 	// First pass pulls (no digest on record yet).
-	n, err := p.AntiEntropy()
+	n, err := p.AntiEntropy(context.Background())
 	if err != nil || n != 1 {
 		t.Fatalf("first pass: n=%d err=%v", n, err)
 	}
 	// Second pass: nothing moved, nothing pulled.
 	syncsBefore := m.Syncs
-	n, err = p.AntiEntropy()
+	n, err = p.AntiEntropy(context.Background())
 	if err != nil || n != 0 || m.Syncs != syncsBefore {
 		t.Fatalf("steady pass: n=%d syncs=%d err=%v", n, m.Syncs, err)
 	}
@@ -392,7 +393,7 @@ func TestAntiEntropySkipsCurrentReplicas(t *testing.T) {
 			syntax.MustParseDocument(`entry{title{"Blue in Green"},stars{"5"}}`))
 		s.Touch("ratings")
 	})
-	n, err = p.AntiEntropy()
+	n, err = p.AntiEntropy(context.Background())
 	if err != nil || n != 1 {
 		t.Fatalf("after move: n=%d err=%v", n, err)
 	}

@@ -1,6 +1,8 @@
 package peer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -14,10 +16,15 @@ import (
 // Mirror maintains a local replica of a remote peer's document — the
 // replication flavor of AXML distribution (the paper's follow-up work on
 // dynamic XML documents with distribution and replication, cited in
-// Section 1, made concrete on this substrate). Each Sync pulls the remote
-// document and merges it into the local copy with the least upper bound
-// ∪ of Section 2.1, so syncs are monotone and idempotent: replaying or
-// interleaving them can only add information, never lose it.
+// Section 1, made concrete on this substrate). Each Sync asks the remote
+// for the growth since the last acknowledged digest (PathDelta) and
+// merges it into the local copy with the least upper bound ∪ of Section
+// 2.1, so syncs are monotone and idempotent: replaying, duplicating or
+// interleaving them can only add information, never lose it. When the
+// remote cannot serve a delta (anchor evicted, first sync) or the local
+// replica diverged from the anchor (a patch base misses), Sync falls
+// back to merging the full tree — the delta path is an optimization over
+// the same merge, never a different semantics.
 type Mirror struct {
 	// Remote is the remote peer's base URL.
 	Remote string
@@ -33,57 +40,86 @@ type Mirror struct {
 	// LastChanged records whether the last sync brought new data.
 	LastChanged bool
 
-	// lastRemote is the digest of the remote tree as of the last pull —
-	// the anti-entropy pass compares it against the remote's advertised
-	// hash to skip pulls of documents that have not moved. Empty until
-	// the first sync (and after a restart: the field is not persisted, so
-	// a recovered peer's first anti-entropy pass always re-pulls).
+	// lastRemote is the digest of the remote tree as of the last sync —
+	// the delta anchor sent with the next PathDelta request, and what the
+	// anti-entropy pass compares against the remote's advertised hash to
+	// skip documents that have not moved. Empty until the first sync (and
+	// after a restart: the field is not persisted, so a recovered peer's
+	// first sync is a full pull).
 	lastRemote string
 }
 
-// Sync pulls the remote document once and merges it into the local
-// system, reporting whether the replica grew. Syncs record into the
-// peer's registry (peer.mirror.syncs/changed/errors, sync_ns) and emit a
-// "sync" span when the peer carries a tracer.
-func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
+// Sync synchronizes the replica once and reports whether it grew. It
+// requests a delta since the last acknowledged remote digest; the answer
+// is either nothing (already current), a digest-anchored patch applied
+// in place, or the full tree merged by Union. Syncs record into the
+// peer's registry (peer.mirror.syncs/changed/errors/deltas/fallbacks,
+// sync_ns) and emit a "sync" span when the peer carries a tracer.
+func (m *Mirror) Sync(ctx context.Context, p *Peer) (changed bool, err error) {
 	start := time.Now()
-	remote, err := FetchDoc(m.Client, m.Remote, m.RemoteDoc)
+	d, err := FetchDelta(ctx, m.Client, m.Remote, m.RemoteDoc, m.lastRemote)
 	if err != nil {
 		p.metrics.Counter("peer.mirror.errors").Inc()
 		return false, err
 	}
-	p.System(func(s *core.System) {
-		local := s.Document(m.LocalDoc)
-		if local == nil {
-			err = fmt.Errorf("peer: mirror target document %q missing", m.LocalDoc)
-			return
+
+	switch d.Mode {
+	case DeltaSame:
+		// Already current: nothing to merge.
+	case DeltaPatch:
+		applied := true
+		p.System(func(s *core.System) {
+			local := s.Document(m.LocalDoc)
+			if local == nil {
+				err = fmt.Errorf("peer: mirror target document %q missing", m.LocalDoc)
+				return
+			}
+			ch, aerr := ApplyPatch(local.Root, d.Patch)
+			if errors.Is(aerr, errPatchMismatch) {
+				// The replica diverged from the anchor the patch targets
+				// (local-only growth, a missed delivery, a restart): repair
+				// with a full pull below.
+				applied = false
+				return
+			}
+			if aerr != nil {
+				err = aerr
+				return
+			}
+			changed = ch
+			if ch {
+				// Out-of-band growth: bump the version so the sterile-call
+				// gate re-examines services reading the replica.
+				s.Touch(m.LocalDoc)
+			}
+		})
+		if err == nil && !applied {
+			p.metrics.Counter("peer.mirror.delta_fallbacks").Inc()
+			d, err = FetchDelta(ctx, m.Client, m.Remote, m.RemoteDoc, "")
+			if err == nil {
+				if d.Full == nil {
+					err = fmt.Errorf("peer: mirror %s: anchorless delta answered mode %q",
+						m.LocalDoc, d.Mode)
+				} else {
+					changed, err = m.mergeFull(p, d.Full)
+				}
+			}
+		} else if err == nil {
+			p.metrics.Counter("peer.mirror.deltas").Inc()
 		}
-		if local.Root.Kind != remote.Kind || local.Root.Name != remote.Name {
-			err = fmt.Errorf("peer: mirror roots incomparable: local %s vs remote %s",
-				local.Root.Name, remote.Name)
-			return
-		}
-		before := local.Root.CanonicalHash()
-		merged := subsume.Union(local.Root, remote)
-		if merged == nil {
-			err = fmt.Errorf("peer: union failed")
-			return
-		}
-		local.Root.Children = merged.Children
-		changed = local.Root.CanonicalHash() != before
-		if changed {
-			// Out-of-band growth: bump the version so the sterile-call
-			// gate re-examines services reading the replica.
-			s.Touch(m.LocalDoc)
-		}
-	})
+	case DeltaFull:
+		changed, err = m.mergeFull(p, d.Full)
+	default:
+		err = fmt.Errorf("peer: mirror %s: unknown delta mode %q", m.LocalDoc, d.Mode)
+	}
 	if err != nil {
 		p.metrics.Counter("peer.mirror.errors").Inc()
 		return false, err
 	}
+
 	m.Syncs++
 	m.LastChanged = changed
-	m.lastRemote = docDigest(remote)
+	m.lastRemote = d.To
 	p.metrics.Counter("peer.mirror.syncs").Inc()
 	p.metrics.Histogram("peer.mirror.sync_ns").ObserveSince(start)
 	if changed {
@@ -101,17 +137,55 @@ func (m *Mirror) Sync(p *Peer) (changed bool, err error) {
 	return changed, nil
 }
 
+// mergeFull merges a fully-shipped remote tree into the local replica by
+// least upper bound — the pre-delta sync semantics, and the fallback
+// every delta failure reduces to.
+func (m *Mirror) mergeFull(p *Peer, remote *tree.Node) (changed bool, err error) {
+	p.System(func(s *core.System) {
+		local := s.Document(m.LocalDoc)
+		if local == nil {
+			err = fmt.Errorf("peer: mirror target document %q missing", m.LocalDoc)
+			return
+		}
+		before := local.Root.CanonicalHash()
+		if local.Root.Kind != remote.Kind || local.Root.Name != remote.Name {
+			if local.Root.Kind != tree.Label || remote.Kind != tree.Label ||
+				len(local.Root.Children) != 0 {
+				err = fmt.Errorf("peer: mirror roots incomparable: local %s vs remote %s",
+					local.Root.Name, remote.Name)
+				return
+			}
+			// A childless label root is a replica seed built before the
+			// remote root marking was known (NewReplicaDoc with a guessed
+			// label); adopt the remote marking on first contact instead
+			// of refusing to sync forever.
+			local.Root = tree.NewLabel(remote.Name)
+		}
+		merged := subsume.Union(local.Root, remote)
+		if merged == nil {
+			err = fmt.Errorf("peer: union failed")
+			return
+		}
+		local.Root.Children = merged.Children
+		changed = local.Root.CanonicalHash() != before
+		if changed {
+			s.Touch(m.LocalDoc)
+		}
+	})
+	return changed, err
+}
+
 // SyncUntilStable repeatedly syncs (with the remote possibly evolving
 // between rounds via its own services) until a sync brings nothing new or
 // the round budget is exhausted. It returns the number of rounds and
 // whether stability was reached.
-func (m *Mirror) SyncUntilStable(p *Peer, maxRounds int) (rounds int, stable bool, err error) {
+func (m *Mirror) SyncUntilStable(ctx context.Context, p *Peer, maxRounds int) (rounds int, stable bool, err error) {
 	if maxRounds <= 0 {
 		maxRounds = 100
 	}
 	for rounds < maxRounds {
 		rounds++
-		changed, err := m.Sync(p)
+		changed, err := m.Sync(ctx, p)
 		if err != nil {
 			return rounds, false, err
 		}

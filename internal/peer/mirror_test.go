@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestMirrorSyncMergesMonotonically(t *testing.T) {
 	local := New("local", localSys)
 	m := &Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "replica"}
 
-	changed, err := m.Sync(local)
+	changed, err := m.Sync(context.Background(), local)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestMirrorSyncMergesMonotonically(t *testing.T) {
 		}
 	})
 	// Idempotent: second sync changes nothing.
-	changed, err = m.Sync(local)
+	changed, err = m.Sync(context.Background(), local)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,12 +65,12 @@ func grow = item{"b"} :-
 	m := &Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "replica"}
 
 	// First round of syncs before the remote evolves.
-	if _, err := m.Sync(local); err != nil {
+	if _, err := m.Sync(context.Background(), local); err != nil {
 		t.Fatal(err)
 	}
 	// Remote evolves; replica catches up and stabilizes.
 	remotePeer.Sweep()
-	rounds, stable, err := m.SyncUntilStable(local, 10)
+	rounds, stable, err := m.SyncUntilStable(context.Background(), local, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,17 +97,31 @@ func TestMirrorErrors(t *testing.T) {
 	srv := httptest.NewServer(New("remote", remoteSys).Handler())
 	defer srv.Close()
 
-	local := New("local", core.MustParseSystem(`doc other = zzz`))
+	local := New("local", core.MustParseSystem(`doc other = zzz{x{"1"}}
+doc seed = guess`))
 	m := &Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "missing"}
-	if _, err := m.Sync(local); err == nil {
+	if _, err := m.Sync(context.Background(), local); err == nil {
 		t.Fatal("missing local doc accepted")
 	}
 	m = &Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "other"}
-	if _, err := m.Sync(local); err == nil {
+	if _, err := m.Sync(context.Background(), local); err == nil {
 		t.Fatal("incomparable roots accepted")
 	}
 	m = &Mirror{Remote: srv.URL, RemoteDoc: "nope", LocalDoc: "other"}
-	if _, err := m.Sync(local); err == nil {
+	if _, err := m.Sync(context.Background(), local); err == nil {
 		t.Fatal("missing remote doc accepted")
 	}
+	// A childless label seed carries no information: the first sync
+	// adopts the remote root marking instead of refusing forever (the
+	// axml-peer CLI seeds undeclared mirror targets this way).
+	m = &Mirror{Remote: srv.URL, RemoteDoc: "catalog", LocalDoc: "seed"}
+	if changed, err := m.Sync(context.Background(), local); err != nil || !changed {
+		t.Fatalf("virgin seed sync: changed=%v err=%v", changed, err)
+	}
+	local.System(func(s *core.System) {
+		root := s.Document("seed").Root
+		if root.Name != "cat" || len(root.Children) == 0 {
+			t.Fatalf("seed did not adopt remote root: %s", root.CanonicalString())
+		}
+	})
 }

@@ -15,13 +15,14 @@ type Option func(*config)
 
 // config collects the option-set state applied by Open.
 type config struct {
-	durability  Durability
-	client      *http.Client
-	maxWire     int64
-	errorPolicy core.ErrorPolicy
-	metrics     *obs.Registry
-	tracer      *obs.Tracer
-	logger      *slog.Logger
+	durability   Durability
+	client       *http.Client
+	maxWire      int64
+	errorPolicy  core.ErrorPolicy
+	metrics      *obs.Registry
+	tracer       *obs.Tracer
+	logger       *slog.Logger
+	deltaAnchors int
 }
 
 // WithDurability backs the peer with a write-ahead journal and snapshots
@@ -73,4 +74,13 @@ func WithTracer(tr *obs.Tracer) Option {
 // its own.
 func WithLogger(l *slog.Logger) Option {
 	return func(c *config) { c.logger = l }
+}
+
+// WithDeltaAnchors sets how many recent states of each document the peer
+// remembers for delta replication (PathDelta). A receiver whose anchor
+// rotated out of the cache simply gets the full tree, so the bound
+// trades memory for wire bytes. 0 keeps the default (4); negative
+// disables delta serving entirely (every request answers full).
+func WithDeltaAnchors(n int) Option {
+	return func(c *config) { c.deltaAnchors = n }
 }

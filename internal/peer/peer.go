@@ -8,11 +8,13 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
 	"axml/internal/core"
 	"axml/internal/obs"
+	"axml/internal/subsume"
 	"axml/internal/tree"
 )
 
@@ -22,6 +24,7 @@ const (
 	PathDoc    = "/axml/doc/"
 	PathSweep  = "/axml/sweep"
 	PathHash   = "/axml/hash"
+	PathDelta  = "/axml/delta/"
 )
 
 // DefaultClient is the HTTP client used whenever a Client field is nil.
@@ -102,6 +105,10 @@ type Peer struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	logger  *slog.Logger
+
+	// anchors caches recent document states by digest so PathDelta can
+	// answer with a patch instead of the full tree. Guarded by mu.
+	anchors *deltaAnchors
 }
 
 // Stats counts a peer's activity.
@@ -156,6 +163,13 @@ func Open(name string, s *core.System, opts ...Option) (*Peer, RecoveryInfo, err
 		metrics:     cfg.metrics,
 		tracer:      cfg.tracer,
 		logger:      obs.LoggerOr(cfg.logger),
+	}
+	switch {
+	case cfg.deltaAnchors < 0: // delta serving disabled
+	case cfg.deltaAnchors == 0:
+		p.anchors = newDeltaAnchors(defaultDeltaAnchors)
+	default:
+		p.anchors = newDeltaAnchors(cfg.deltaAnchors)
 	}
 	if info.Recovered {
 		p.logger.Info("peer recovered",
@@ -246,6 +260,7 @@ func (p *Peer) Handler() http.Handler {
 	mux.HandleFunc(PathDoc, p.instrument("doc", p.handleDoc))
 	mux.HandleFunc(PathSweep, p.instrument("sweep", p.handleSweep))
 	mux.HandleFunc(PathHash, p.instrument("hash", p.handleHash))
+	mux.HandleFunc(PathDelta, p.instrument("delta", p.handleDelta))
 	return mux
 }
 
@@ -325,6 +340,11 @@ func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if doc != nil {
 		data, err = MarshalTree(doc.Root)
+		if err == nil {
+			// The receiver now holds this exact state: cache it as a delta
+			// anchor so its next PathDelta request gets a patch.
+			p.anchors.remember(name, docDigest(doc.Root), doc.Root)
+		}
 	}
 	p.mu.Unlock()
 	if doc == nil {
@@ -407,6 +427,88 @@ func (p *Peer) handleHash(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	io.WriteString(w, p.Hash())
+}
+
+// handleDelta answers GET /axml/delta/<name>?from=<digest> with the
+// document's growth since the state the caller last acknowledged. Three
+// modes: "same" (the caller is current — no payload), "delta" (a patch
+// against the anchor — requires the anchor state cached AND provably
+// subsumed by the current state, the prune precondition) and "full"
+// (anything else: no anchor given, cache miss, or a non-monotone edit
+// broke the anchor invariant). The served state is cached as the
+// caller's next anchor.
+func (p *Peer) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	name := r.URL.Path[len(PathDelta):]
+	from := r.URL.Query().Get("from")
+	p.mu.Lock()
+	doc := p.system.Document(name)
+	if doc == nil {
+		p.mu.Unlock()
+		http.NotFound(w, r)
+		return
+	}
+	cur := doc.Root
+	d := Delta{Doc: name, To: docDigest(cur)}
+	switch {
+	case from == d.To:
+		d.Mode = DeltaSame
+	case from != "":
+		if anchor := p.anchors.lookup(name, from); anchor != nil && subsume.Subsumed(anchor, cur) {
+			if patch := PruneSince(cur, anchor); patch != nil {
+				d.Mode = DeltaPatch
+				d.From = from
+				d.Patch = patch
+			}
+		}
+	}
+	if d.Mode == "" {
+		d.Mode = DeltaFull
+		d.Full = cur
+	}
+	p.anchors.remember(name, d.To, cur)
+	data, err := MarshalDelta(d)
+	p.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p.metrics.Counter("peer.delta.served." + d.Mode).Inc()
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data)
+}
+
+// FetchDelta asks a peer what changed in a document since the anchor
+// digest from (empty means no anchor — expect a full answer). The
+// transport is bounded like every other wire read; cancel via ctx.
+func FetchDelta(ctx context.Context, client *http.Client, baseURL, name, from string) (Delta, error) {
+	if client == nil {
+		client = DefaultClient
+	}
+	u := baseURL + PathDelta + name
+	if from != "" {
+		u += "?from=" + url.QueryEscape(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Delta{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Delta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Delta{}, fmt.Errorf("peer: delta %s: %s", name, resp.Status)
+	}
+	body, err := readAllLimited(resp.Body, 0)
+	if err != nil {
+		return Delta{}, fmt.Errorf("peer: delta %s: %w", name, err)
+	}
+	return UnmarshalDelta(body)
 }
 
 // RemoteService is a core.Service whose implementation lives on another
@@ -492,11 +594,16 @@ func (r *RemoteService) Invoke(ctx context.Context, b core.Binding) (tree.Forest
 
 // FetchDoc pulls a document from a peer. A nil client means the shared
 // DefaultClient. Bodies over MaxWireBytes fail with ErrResponseTooLarge.
-func FetchDoc(client *http.Client, baseURL, name string) (*tree.Node, error) {
+// Cancel via ctx.
+func FetchDoc(ctx context.Context, client *http.Client, baseURL, name string) (*tree.Node, error) {
 	if client == nil {
 		client = DefaultClient
 	}
-	resp, err := client.Get(baseURL + PathDoc + name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathDoc+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

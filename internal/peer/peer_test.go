@@ -159,14 +159,14 @@ func TestFetchDoc(t *testing.T) {
 	p := newRatingsPeer(t)
 	server := httptest.NewServer(p.Handler())
 	defer server.Close()
-	n, err := FetchDoc(nil, server.URL, "ratings")
+	n, err := FetchDoc(context.Background(), nil, server.URL, "ratings")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n.Name != "db" || len(n.Children) != 2 {
 		t.Fatalf("fetched %s", n)
 	}
-	if _, err := FetchDoc(nil, server.URL, "nope"); err == nil {
+	if _, err := FetchDoc(context.Background(), nil, server.URL, "nope"); err == nil {
 		t.Fatal("missing document fetched")
 	}
 }
@@ -235,7 +235,7 @@ func HopB = t{a{$x},b{$y}} :- input/input{t{a{$x},b{$z}}}, edges/r{t{a{$z},b{$y}
 	defer srvC.Close()
 
 	coord := &Coordinator{URLs: []string{srvA.URL, srvB.URL, srvC.URL}}
-	res, err := coord.RunToFixpoint()
+	res, err := coord.RunToFixpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestPushModeMatchesPull(t *testing.T) {
 		Input:   syntax.MustParseDocument(`input{title{"Naima"}}`),
 	}, subSrv.URL)
 
-	pushed, err := pub.Flush(nil)
+	pushed, err := pub.Flush(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestPushModeMatchesPull(t *testing.T) {
 		t.Fatalf("pushed = %d", pushed)
 	}
 	// Flushing again pushes nothing new.
-	pushed, err = pub.Flush(nil)
+	pushed, err = pub.Flush(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

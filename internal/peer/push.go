@@ -3,6 +3,8 @@ package peer
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,16 +26,55 @@ import (
 // implements the client side, appending pushed forests under the
 // subscribed call's parent — exactly where a pull-mode invocation would
 // have appended them, so both modes converge to the same documents.
+//
+// Deliveries are digest-anchored: each POST names the hash chain of
+// everything the publisher believes the subscriber accepted so far. A
+// subscriber whose state disagrees (it crashed and lost deliveries, or a
+// delivery was duplicated out of band) answers 409 Conflict, and the
+// publisher falls back to re-pushing the full accumulated forest —
+// monotone merge makes over-delivery safe, so the fallback can only
+// repair, never corrupt.
 
 // PathPush is the subscriber's callback endpoint.
 const PathPush = "/axml/push/"
+
+// Push negotiation headers. Anchor is the hash chain the subscriber must
+// currently hold for a delta delivery to apply ("" for the first or a
+// full delivery); Ack is the chain value after accepting this delivery;
+// Mode is "delta" or "full". Requests without a Mode header (legacy
+// senders) are accepted without negotiation.
+const (
+	headerPushMode   = "X-Axml-Push-Mode"
+	headerPushAnchor = "X-Axml-Push-Anchor"
+	headerPushAck    = "X-Axml-Push-Ack"
+)
+
+// DefaultPushRetries is how many times a failed delivery is retried
+// (beyond the first attempt) when Publisher.Retries is zero.
+const DefaultPushRetries = 2
+
+// DefaultPushRetryBase is the first retry backoff when
+// Publisher.RetryBase is zero; it doubles per attempt, capped at 32×.
+const DefaultPushRetryBase = 50 * time.Millisecond
 
 // Publisher manages subscriptions on top of a Peer.
 type Publisher struct {
 	peer *Peer
 
-	mu   sync.Mutex
-	subs []*subscription
+	// Retries is the number of re-attempts per failed delivery (after
+	// the first try). Zero means DefaultPushRetries; negative disables
+	// retrying.
+	Retries int
+	// RetryBase is the first backoff delay; it doubles per attempt and is
+	// capped at 32× RetryBase. Zero means DefaultPushRetryBase.
+	RetryBase time.Duration
+	// Sleep is the backoff clock, for tests; nil means time.Sleep (a
+	// cancelled ctx cuts the wait short either way).
+	Sleep func(time.Duration)
+
+	mu       sync.Mutex
+	subs     []*subscription
+	failures map[string]int
 }
 
 type subscription struct {
@@ -41,6 +82,9 @@ type subscription struct {
 	env      Envelope
 	callback string
 	sent     tree.Forest
+	// chain is the delivery hash chain the publisher believes the
+	// subscriber holds — the anchor of the next delta delivery.
+	chain string
 }
 
 // NewPublisher wraps a peer.
@@ -54,11 +98,51 @@ func (pb *Publisher) Subscribe(id string, env Envelope, callbackURL string) {
 	pb.subs = append(pb.subs, &subscription{id: id, env: env, callback: callbackURL})
 }
 
+// Failures returns a snapshot of the per-subscription count of failed
+// delivery attempts (each exhausted retry sequence counts once per
+// attempt). The same counts land in the peer's registry as
+// peer.push.fail.<id>.
+func (pb *Publisher) Failures() map[string]int {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	out := make(map[string]int, len(pb.failures))
+	for id, n := range pb.failures {
+		out[id] = n
+	}
+	return out
+}
+
+func (pb *Publisher) recordFailure(id string) {
+	pb.mu.Lock()
+	if pb.failures == nil {
+		pb.failures = make(map[string]int)
+	}
+	pb.failures[id]++
+	pb.mu.Unlock()
+	pb.peer.metrics.Counter("peer.push.fail." + id).Inc()
+}
+
+// chainDigest advances the delivery hash chain over one payload.
+func chainDigest(prev string, payload []byte) string {
+	h := sha256.New()
+	io.WriteString(h, prev)
+	h.Write([]byte{0})
+	h.Write(payload)
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
 // Flush re-evaluates every subscription and pushes the trees not yet
-// sent. It returns the number of trees pushed. Deliveries record into
-// the publishing peer's registry (peer.push.flushes/pushed/errors) and
-// emit one "push" span per delivering subscription.
-func (pb *Publisher) Flush(client *http.Client) (int, error) {
+// sent. It returns the number of trees pushed. A failed delivery is
+// retried with capped exponential backoff (Retries/RetryBase); a
+// subscription whose retries are exhausted is skipped — its error is
+// joined into the returned error and its failure count recorded
+// (Failures, peer.push.fail.<id>) — so one dead subscriber does not
+// starve the rest. A 409 from the subscriber (its state diverged from
+// the publisher's anchor) triggers a full re-push of the accumulated
+// forest. Deliveries record into the publishing peer's registry
+// (peer.push.flushes/pushed/errors/conflicts) and emit one "push" span
+// per delivering subscription.
+func (pb *Publisher) Flush(ctx context.Context, client *http.Client) (int, error) {
 	if client == nil {
 		client = DefaultClient
 	}
@@ -67,55 +151,133 @@ func (pb *Publisher) Flush(client *http.Client) (int, error) {
 	pb.mu.Unlock()
 	pb.peer.metrics.Counter("peer.push.flushes").Inc()
 	pushed := 0
+	var errs []error
 	for _, sub := range subs {
-		forest, err := pb.peer.Serve(context.Background(), sub.env)
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		n, err := pb.flushOne(ctx, client, sub)
+		pushed += n
 		if err != nil {
 			pb.peer.metrics.Counter("peer.push.errors").Inc()
-			return pushed, err
-		}
-		var fresh tree.Forest
-		for _, t := range forest {
-			seen := false
-			for _, old := range sub.sent {
-				if subsume.Subsumed(t, old) {
-					seen = true
-					break
-				}
-			}
-			if !seen {
-				fresh = append(fresh, t)
-			}
-		}
-		if len(fresh) == 0 {
-			continue
-		}
-		data, err := MarshalForest(fresh)
-		if err != nil {
-			pb.peer.metrics.Counter("peer.push.errors").Inc()
-			return pushed, err
-		}
-		start := time.Now()
-		resp, err := client.Post(sub.callback+PathPush+sub.id, "application/xml", bytes.NewReader(data))
-		if err != nil {
-			pb.peer.metrics.Counter("peer.push.errors").Inc()
-			return pushed, err
-		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			pb.peer.metrics.Counter("peer.push.errors").Inc()
-			return pushed, fmt.Errorf("peer: push to %s: %s: %s", sub.callback, resp.Status, string(body))
-		}
-		sub.sent = append(sub.sent, fresh...)
-		pushed += len(fresh)
-		pb.peer.metrics.Counter("peer.push.pushed").Add(int64(len(fresh)))
-		if tr := pb.peer.tracer; tr.Enabled() {
-			tr.Emit(obs.Span{Kind: "push", Name: sub.id, TSUs: tr.Now(),
-				DurUs: time.Since(start).Microseconds(),
-				Attrs: map[string]int64{"trees": int64(len(fresh))}})
+			pb.recordFailure(sub.id)
+			errs = append(errs, fmt.Errorf("push %s: %w", sub.id, err))
 		}
 	}
-	return pushed, nil
+	return pushed, errors.Join(errs...)
+}
+
+func (pb *Publisher) flushOne(ctx context.Context, client *http.Client, sub *subscription) (int, error) {
+	forest, err := pb.peer.Serve(ctx, sub.env)
+	if err != nil {
+		return 0, err
+	}
+	var fresh tree.Forest
+	for _, t := range forest {
+		seen := false
+		for _, old := range sub.sent {
+			if subsume.Subsumed(t, old) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			fresh = append(fresh, t)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	data, err := MarshalForest(fresh)
+	if err != nil {
+		return 0, err
+	}
+	mode, anchor := "delta", sub.chain
+	start := time.Now()
+	retries := pb.Retries
+	if retries == 0 {
+		retries = DefaultPushRetries
+	}
+	base := pb.RetryBase
+	if base == 0 {
+		base = DefaultPushRetryBase
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			delay := base << (attempt - 1)
+			if max := base << 5; delay > max {
+				delay = max
+			}
+			if pb.Sleep != nil {
+				pb.Sleep(delay)
+			} else {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+			}
+			pb.peer.metrics.Counter("peer.push.retries").Inc()
+		}
+		ack := chainDigest(anchor, data)
+		status, body, err := pb.deliver(ctx, client, sub, mode, anchor, ack, data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case status == http.StatusOK:
+			sub.sent = append(sub.sent, fresh...)
+			sub.chain = ack
+			pb.peer.metrics.Counter("peer.push.pushed").Add(int64(len(fresh)))
+			if tr := pb.peer.tracer; tr.Enabled() {
+				tr.Emit(obs.Span{Kind: "push", Name: sub.id, TSUs: tr.Now(),
+					DurUs: time.Since(start).Microseconds(),
+					Attrs: map[string]int64{"trees": int64(len(fresh))}})
+			}
+			return len(fresh), nil
+		case status == http.StatusConflict && mode == "delta":
+			// The subscriber's state diverged from our anchor (it restarted,
+			// or a delivery was lost/duplicated): re-push everything we ever
+			// sent plus the fresh trees, anchorless. The subscriber resets
+			// its chain; the monotone merge dedups anything it still had.
+			pb.peer.metrics.Counter("peer.push.conflicts").Inc()
+			full := append(append(tree.Forest(nil), sub.sent...), fresh...)
+			if data, err = MarshalForest(full); err != nil {
+				return 0, err
+			}
+			mode, anchor = "full", ""
+			// The conflict answer consumed an attempt; the full re-push
+			// starts immediately on the next loop iteration.
+			lastErr = fmt.Errorf("peer: push to %s: subscriber state diverged", sub.callback)
+		default:
+			lastErr = fmt.Errorf("peer: push to %s: %d: %s", sub.callback, status, body)
+		}
+	}
+	return 0, lastErr
+}
+
+// deliver POSTs one payload to the subscription callback.
+func (pb *Publisher) deliver(ctx context.Context, client *http.Client, sub *subscription,
+	mode, anchor, ack string, data []byte) (status int, body string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		sub.callback+PathPush+sub.id, bytes.NewReader(data))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	req.Header.Set(headerPushMode, mode)
+	req.Header.Set(headerPushAnchor, anchor)
+	req.Header.Set(headerPushAck, ack)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode, string(msg), nil
 }
 
 // Subscriber receives pushed forests and appends them into a document of
@@ -125,6 +287,7 @@ type Subscriber struct {
 
 	mu      sync.Mutex
 	targets map[string]pushTarget
+	chains  map[string]string
 }
 
 type pushTarget struct {
@@ -134,7 +297,7 @@ type pushTarget struct {
 
 // NewSubscriber wraps a peer.
 func NewSubscriber(p *Peer) *Subscriber {
-	return &Subscriber{peer: p, targets: map[string]pushTarget{}}
+	return &Subscriber{peer: p, targets: map[string]pushTarget{}, chains: map[string]string{}}
 }
 
 // Register binds a subscription id to an attachment parent inside a
@@ -164,9 +327,20 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Path[len(PathPush):]
 	sb.mu.Lock()
 	target, ok := sb.targets[id]
+	chain := sb.chains[id]
 	sb.mu.Unlock()
 	if !ok {
 		http.Error(w, "unknown subscription", http.StatusNotFound)
+		return
+	}
+	// Digest-anchored negotiation: a delta delivery applies only on top of
+	// the exact chain of deliveries the publisher believes we accepted. A
+	// mismatch — we restarted, or deliveries were dropped/duplicated — is
+	// answered 409 so the publisher re-pushes the full forest instead.
+	mode := r.Header.Get(headerPushMode)
+	if mode == "delta" && r.Header.Get(headerPushAnchor) != chain {
+		sb.peer.metrics.Counter("peer.push.rejected").Inc()
+		http.Error(w, "push anchor mismatch", http.StatusConflict)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxWireBytes))
@@ -194,6 +368,11 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 		// Out-of-band growth: make the version gate see the pushed data.
 		s.Touch(target.doc)
 	})
+	if mode != "" {
+		sb.mu.Lock()
+		sb.chains[id] = r.Header.Get(headerPushAck)
+		sb.mu.Unlock()
+	}
 	sb.peer.metrics.Counter("peer.push.delivered").Add(int64(len(forest)))
 	io.WriteString(w, "ok")
 }

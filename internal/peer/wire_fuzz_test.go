@@ -65,6 +65,53 @@ func FuzzUnmarshalTree(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalDelta: replicas feed whatever a remote peer sends
+// straight into UnmarshalDelta and then mutate local state from it, so
+// the parser must reject garbage without panicking, and every accepted
+// record must re-marshal to a stable wire form (the encoder orders
+// spines before adds, so one decode/encode round canonicalizes and the
+// second must be a fixpoint).
+func FuzzUnmarshalDelta(f *testing.F) {
+	seeds := []string{
+		``,
+		`<ax:delta name="d" mode="same" to="00112233aabbccdd"></ax:delta>`,
+		`<ax:delta name="d" mode="full" to="00112233aabbccdd"><d><x>1</x></d></ax:delta>`,
+		`<ax:delta name="d" mode="delta" from="deadbeefdeadbeef" to="00112233aabbccdd">` +
+			`<ax:patch kind="label" name="d" base=""><ax:patch kind="label" name="sec" base="0102030405060708"><y/></ax:patch><z/></ax:patch></ax:delta>`,
+		`<ax:delta name="d" mode="delta" to="x"><ax:patch kind="func" name="f" base="b"/></ax:delta>`,
+		`<ax:delta name="d" mode="nonsense" to="x"></ax:delta>`,
+		`<ax:delta mode="full"><unclosed></ax:delta>`,
+		`<ax:patch kind="label" name="orphan" base=""/>`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzMaxInput {
+			return
+		}
+		d, err := UnmarshalDelta(data)
+		if err != nil {
+			return // malformed input rejected: fine, as long as no panic
+		}
+		out, err := MarshalDelta(d)
+		if err != nil {
+			t.Fatalf("parsed delta does not re-marshal: %v (input %q)", err, data)
+		}
+		back, err := UnmarshalDelta(out)
+		if err != nil {
+			t.Fatalf("marshaled delta does not re-parse: %v (wire %q)", err, out)
+		}
+		again, err := MarshalDelta(back)
+		if err != nil {
+			t.Fatalf("re-parsed delta does not re-marshal: %v (wire %q)", err, out)
+		}
+		if string(out) != string(again) {
+			t.Fatalf("delta wire form not a fixpoint:\nfirst  %q\nsecond %q", out, again)
+		}
+	})
+}
+
 func FuzzUnmarshalEnvelope(f *testing.F) {
 	seeds := []string{
 		``,

@@ -13,15 +13,77 @@
 # plus each variant's speedup relative to the "naive" variant of the
 # same operation.
 #
+# With -fleet the input is BenchmarkFleet (run with -benchmem): one
+# record per operation/variant with ns_per_op, wire_bytes_per_op (the
+# remote's served bytes per sync, from the wireB/op ReportMetric column),
+# bytes_per_op and allocs_per_op, plus each variant's speedup relative
+# to the "full" re-pull variant of the same operation.
+#
 # Usage:
 #   go test -bench BenchmarkRunParallel ... | scripts/bench-json.sh
 #   go test -bench 'BenchmarkTree$' -benchmem ... | scripts/bench-json.sh -tree
+#   go test -bench 'BenchmarkFleet$' -benchmem ... | scripts/bench-json.sh -fleet
 set -eu
 
 mode=parallel
 if [ "${1-}" = "-tree" ]; then
     mode=tree
     shift
+elif [ "${1-}" = "-fleet" ]; then
+    mode=fleet
+    shift
+fi
+
+if [ "$mode" = fleet ]; then
+    awk '
+    /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+    /^BenchmarkFleet\// && NF >= 4 {
+        name = $1
+        sub(/^BenchmarkFleet\//, "", name)
+        sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+        split(name, part, "/")             # operation / variant
+        op = part[1]; v = part[2]
+        ns[op, v] = $3
+        # Metric columns come in value/unit pairs after "ns/op".
+        for (f = 5; f + 1 <= NF; f += 2) {
+            if ($(f + 1) == "B/op") bytes[op, v] = $f + 0
+            else if ($(f + 1) == "allocs/op") allocs[op, v] = $f + 0
+            else if ($(f + 1) == "wireB/op") wire[op, v] = $f + 0
+        }
+        if (!(op in seen)) { order[++n] = op; seen[op] = 1 }
+        if (!((op, v) in vseen)) { vars[op] = vars[op] " " v; vseen[op, v] = 1 }
+    }
+    END {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkFleet\",\n"
+        printf "  \"date\": \"%s\",\n", strftime("%Y-%m-%d")
+        printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"workloads\": {\n"
+        for (i = 1; i <= n; i++) {
+            op = order[i]
+            printf "    \"%s\": {\n", op
+            m = split(substr(vars[op], 2), vv, " ")
+            for (j = 1; j <= m; j++) {
+                v = vv[j]
+                extra = ""
+                if ((op, v) in wire)
+                    extra = extra sprintf(", \"wire_bytes_per_op\": %.0f", wire[op, v])
+                if ((op, v) in bytes)
+                    extra = extra sprintf(", \"bytes_per_op\": %.0f", bytes[op, v])
+                if ((op, v) in allocs)
+                    extra = extra sprintf(", \"allocs_per_op\": %.0f", allocs[op, v])
+                if (v != "full" && (op, "full") in ns && ns[op, v] > 0)
+                    extra = extra sprintf(", \"speedup_vs_full\": %.1f", ns[op, "full"] / ns[op, v])
+                if (v != "full" && (op, "full") in wire && wire[op, v] > 0)
+                    extra = extra sprintf(", \"wire_ratio_vs_full\": %.4f", wire[op, v] / wire[op, "full"])
+                printf "      \"%s\": {\"ns_per_op\": %.0f%s}%s\n", \
+                    v, ns[op, v], extra, (j < m ? "," : "")
+            }
+            printf "    }%s\n", (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }'
+    exit $?
 fi
 
 if [ "$mode" = tree ]; then
