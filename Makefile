@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke chaos bench bench-tree bench-fleet bench-compare bench-check verify
+.PHONY: build test vet vet-cmd vet-obs race fmt fuzz-smoke chaos bench bench-tree bench-fleet bench-load loadgen-smoke bench-compare bench-check verify
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,21 @@ bench-fleet:
 	scripts/bench-json.sh -fleet < bench.fleet.out > BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
 
+# The capacity benchmark: axml-loadgen drives the canonical open-loop
+# and closed-loop mixes plus a step-rate capacity search against a
+# 3-peer in-process fleet. The JSON trajectory point (mean/p50/p99/p999
+# request latency and max sustainable RPS) lands in BENCH_load.json.
+bench-load:
+	$(GO) run ./cmd/axml-loadgen -fleet 3 -bench | tee bench.load.out
+	scripts/bench-json.sh -load < bench.load.out > BENCH_load.json
+	@echo wrote BENCH_load.json
+
+# The loadgen smoke gate (part of verify): the CLI must sustain a short
+# open-loop mixed workload against an in-process 3-peer fleet with zero
+# errors — the whole path from scenario to typed client to fleet.
+loadgen-smoke:
+	$(GO) run ./cmd/axml-loadgen -fleet 3 -rate 150 -duration 1s -max-errors 0
+
 # Compare two saved bench.out files: make bench-compare OLD=a.out NEW=b.out
 OLD ?= bench.old
 NEW ?= bench.out
@@ -97,9 +112,13 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet$$' -benchmem -benchtime 3x -count 1 -timeout 30m . > bench.check.out
 	scripts/bench-json.sh -fleet < bench.check.out > bench.check.json
 	scripts/bench-compare.sh -check BENCH_fleet.json bench.check.json
+	$(GO) run ./cmd/axml-loadgen -fleet 3 -bench > bench.check.out
+	scripts/bench-json.sh -load < bench.check.out > bench.check.json
+	scripts/bench-compare.sh -check BENCH_load.json bench.check.json
 	@rm -f bench.check.out bench.check.json
 
 # Tier-1 verify: build + tests, extended with gofmt, go vet (test files
 # of the test-less cmd packages included), the logging lint, the race
-# detector, the fuzz smoke run and the sharded-fleet chaos acceptance.
-verify: build fmt vet vet-cmd vet-obs test race fuzz-smoke chaos
+# detector, the fuzz smoke run, the sharded-fleet chaos acceptance and
+# the loadgen smoke gate.
+verify: build fmt vet vet-cmd vet-obs test race fuzz-smoke chaos loadgen-smoke

@@ -46,6 +46,11 @@ type (
 	Router = peer.Router
 	// Delta is one digest-anchored replication record.
 	Delta = peer.Delta
+	// PeerClient is the typed client-side surface of a peer's HTTP API
+	// (Doc, Delta, Hashes, Invoke, Sweep, Push) — what mirrors,
+	// coordinators, anti-entropy and the load generator all route
+	// through.
+	PeerClient = peer.Client
 )
 
 // Distributed entry points.
@@ -57,11 +62,6 @@ var (
 	// wire-size caps (WithLimits) and the sweep error policy
 	// (WithErrorPolicy).
 	OpenPeer = peer.Open
-	// NewDurablePeer wraps a system as a journal-backed peer,
-	// recovering persisted state first.
-	//
-	// Deprecated: use OpenPeer with WithDurability.
-	NewDurablePeer = peer.NewDurable
 	// WithDurability backs a peer with a write-ahead journal.
 	WithDurability = peer.WithDurability
 	// WithClient sets a peer's outbound HTTP client.
@@ -86,7 +86,10 @@ var (
 	NewPublisher = peer.NewPublisher
 	// NewSubscriber wraps a peer to receive pushes.
 	NewSubscriber = peer.NewSubscriber
-	// FetchDoc pulls a document from a peer.
+	// NewPeerClient wraps a peer base URL as a typed client.
+	NewPeerClient = peer.NewClient
+	// FetchDoc pulls a document from a peer (one-shot wrapper over
+	// PeerClient.Doc).
 	FetchDoc = peer.FetchDoc
 	// FetchDelta pulls a document's growth since an acked digest.
 	FetchDelta = peer.FetchDelta

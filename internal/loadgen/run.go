@@ -1,0 +1,425 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"axml/internal/obs"
+	"axml/internal/peer"
+	"axml/internal/tree"
+)
+
+// Runner executes a scenario against a fleet. Zero-value fields get
+// sensible defaults; only Scenario is required.
+type Runner struct {
+	// Scenario is the workload to drive.
+	Scenario Scenario
+	// HTTP is the transport used for the per-target peer.Clients and
+	// the /debug/vars scrapes; nil means NewHTTPClient(10s, 256).
+	HTTP *http.Client
+	// Clients overrides the clients built from Scenario.Targets
+	// (index-aligned) — tests inject instrumented ones here.
+	Clients []*peer.Client
+	// Registries are in-process registries to correlate server-side:
+	// each is snapshotted before and after the run and diffed into
+	// Result.Server under a "peer<i>." prefix.
+	Registries []*obs.Registry
+	// VarsURLs are /debug/vars endpoints to scrape before and after;
+	// diffs land in Result.Server under a "vars<i>." prefix. Scrape
+	// failures are reported in Result.ServerErrs, never fail the run.
+	VarsURLs []string
+}
+
+// NewHTTPClient builds a transport sized for load generation: the
+// default http.Transport keeps only 2 idle connections per host, which
+// at hundreds of concurrent requests against 3 peers means constant
+// re-dialing — the harness would measure its own TCP handshakes.
+func NewHTTPClient(timeout time.Duration, maxIdlePerHost int) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	if maxIdlePerHost > 0 {
+		tr.MaxIdleConnsPerHost = maxIdlePerHost
+		if tr.MaxIdleConns < maxIdlePerHost*4 {
+			tr.MaxIdleConns = maxIdlePerHost * 4
+		}
+	}
+	return &http.Client{Timeout: timeout, Transport: tr}
+}
+
+// OpStats summarizes one op kind's latency and outcome over a run.
+// Quantiles are upper bounds of power-of-two histogram buckets (within
+// 2x); Mean is exact.
+type OpStats struct {
+	Sent   int64         `json:"sent"`
+	Errors int64         `json:"errors"`
+	Mean   time.Duration `json:"mean_ns"`
+	P50    time.Duration `json:"p50_ns"`
+	P99    time.Duration `json:"p99_ns"`
+	P999   time.Duration `json:"p999_ns"`
+	Max    time.Duration `json:"max_ns"`
+}
+
+// Result reports one run.
+type Result struct {
+	// Scenario and Mode echo the workload.
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	// TargetRate is the configured open-loop rate (0 for closed).
+	TargetRate float64 `json:"target_rate,omitempty"`
+	// Sent and Errors count requests over the whole run.
+	Sent   int64 `json:"sent"`
+	Errors int64 `json:"errors"`
+	// Stalled counts open-loop arrivals that had to wait for the
+	// in-flight cap — nonzero means the configured rate outran the
+	// fleet and latencies under-report the backlog.
+	Stalled int64 `json:"stalled,omitempty"`
+	// Elapsed is the wall clock of the request phase.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// AchievedRPS is Sent/Elapsed.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Overall aggregates every request; PerOp splits by op kind.
+	Overall OpStats            `json:"overall"`
+	PerOp   map[string]OpStats `json:"per_op"`
+	// FirstErrors samples up to one error message per op kind.
+	FirstErrors map[string]string `json:"first_errors,omitempty"`
+	// SLOViolations lists every objective the run missed (empty =
+	// SLO pass).
+	SLOViolations []string `json:"slo_violations,omitempty"`
+	// Server carries the diffed server-side metrics (peer<i>. from
+	// Registries, vars<i>. from VarsURLs).
+	Server map[string]float64 `json:"server,omitempty"`
+	// ServerErrs reports scrape failures (the run itself is unaffected).
+	ServerErrs []string `json:"server_errs,omitempty"`
+}
+
+// SLOPass reports whether every configured objective held.
+func (r Result) SLOPass() bool { return len(r.SLOViolations) == 0 }
+
+// recorder accumulates per-op latency and errors; obs.Histogram is
+// lock-free, so concurrent request goroutines never serialize on it.
+type recorder struct {
+	reg    *obs.Registry
+	errs   *obs.Registry
+	mu     sync.Mutex
+	firsts map[string]string
+}
+
+func newRecorder() *recorder {
+	return &recorder{reg: obs.NewRegistry(), errs: obs.NewRegistry(), firsts: map[string]string{}}
+}
+
+func (rec *recorder) record(kind string, d time.Duration, err error) {
+	rec.reg.Histogram("lat." + kind).Observe(int64(d))
+	rec.reg.Histogram("lat.all").Observe(int64(d))
+	if err != nil {
+		rec.errs.Counter("err." + kind).Inc()
+		rec.errs.Counter("err.all").Inc()
+		rec.mu.Lock()
+		if _, ok := rec.firsts[kind]; !ok {
+			rec.firsts[kind] = err.Error()
+		}
+		rec.mu.Unlock()
+	}
+}
+
+func (rec *recorder) stats(kind string) OpStats {
+	s := rec.reg.Histogram("lat." + kind).Snapshot()
+	return OpStats{
+		Sent:   s.Count,
+		Errors: rec.errs.Counter("err." + kind).Value(),
+		Mean:   time.Duration(s.Mean()),
+		P50:    time.Duration(s.P50),
+		P99:    time.Duration(s.P99),
+		P999:   time.Duration(s.Quantile(0.999)),
+		Max:    time.Duration(s.Max),
+	}
+}
+
+// anchorTable remembers the last delta digest acknowledged per
+// (target, doc), so OpDelta traffic looks like real pollers: first
+// request full, steady state mostly "same"/patch answers.
+type anchorTable struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newAnchorTable() *anchorTable { return &anchorTable{m: map[string]string{}} }
+
+func (a *anchorTable) get(target int, doc string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m[fmt.Sprintf("%d/%s", target, doc)]
+}
+
+func (a *anchorTable) put(target int, doc, digest string) {
+	a.mu.Lock()
+	a.m[fmt.Sprintf("%d/%s", target, doc)] = digest
+	a.mu.Unlock()
+}
+
+// Run drives the scenario to completion (or ctx cancellation — the
+// partial result is still summarized) and reports latencies, errors,
+// SLO verdicts and server-side metric deltas.
+func (r *Runner) Run(ctx context.Context) (Result, error) {
+	s := r.Scenario.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	httpc := r.HTTP
+	if httpc == nil {
+		httpc = NewHTTPClient(10*time.Second, 256)
+	}
+	clients := r.Clients
+	if clients == nil {
+		clients = make([]*peer.Client, len(s.Targets))
+		for i, u := range s.Targets {
+			clients[i] = peer.NewClient(u, httpc)
+		}
+	}
+	if len(clients) != len(s.Targets) {
+		return Result{}, fmt.Errorf("loadgen: %d clients for %d targets", len(clients), len(s.Targets))
+	}
+
+	res := Result{Scenario: s.Name, Mode: s.Mode}
+	before, scrapeErrs := r.scrape(ctx, httpc)
+	res.ServerErrs = scrapeErrs
+
+	rec := newRecorder()
+	anchors := newAnchorTable()
+	var stalled int64
+	start := time.Now()
+	var err error
+	switch s.Mode {
+	case "open":
+		res.TargetRate = s.Rate
+		err = r.runOpen(ctx, s, clients, rec, anchors, &stalled)
+	case "closed":
+		err = r.runClosed(ctx, s, clients, rec, anchors)
+	}
+	res.Elapsed = time.Since(start)
+	res.Stalled = stalled
+
+	res.Overall = rec.stats("all")
+	res.Sent = res.Overall.Sent
+	res.Errors = res.Overall.Errors
+	if res.Elapsed > 0 {
+		res.AchievedRPS = float64(res.Sent) / res.Elapsed.Seconds()
+	}
+	res.PerOp = map[string]OpStats{}
+	for _, op := range s.Ops {
+		if _, ok := res.PerOp[op.Kind]; !ok {
+			res.PerOp[op.Kind] = rec.stats(op.Kind)
+		}
+	}
+	rec.mu.Lock()
+	if len(rec.firsts) > 0 {
+		res.FirstErrors = make(map[string]string, len(rec.firsts))
+		for k, v := range rec.firsts {
+			res.FirstErrors[k] = v
+		}
+	}
+	rec.mu.Unlock()
+	res.SLOViolations = s.SLO.check(res.Overall)
+
+	after, errs2 := r.scrape(ctx, httpc)
+	res.ServerErrs = append(res.ServerErrs, errs2...)
+	if len(after) > 0 {
+		res.Server = obs.DiffVars(before, after)
+	}
+	return res, err
+}
+
+// check compares one run's overall stats against the objective.
+func (o SLO) check(s OpStats) []string {
+	var v []string
+	lim := func(name string, got time.Duration, want Duration) {
+		if want > 0 && got > want.D() {
+			v = append(v, fmt.Sprintf("%s %v > SLO %v", name, got, want.D()))
+		}
+	}
+	lim("p50", s.P50, o.P50)
+	lim("p99", s.P99, o.P99)
+	lim("p999", s.P999, o.P999)
+	return v
+}
+
+// runOpen replays the seeded Poisson schedule: each arrival fires at
+// its offset regardless of how earlier requests are doing (bounded by
+// MaxInFlight), which is what makes tail latency honest under load.
+func (r *Runner) runOpen(ctx context.Context, s Scenario, clients []*peer.Client,
+	rec *recorder, anchors *anchorTable, stalled *int64) error {
+	sched := PoissonSchedule(s.Seed, s.Rate, s.Duration.D())
+	reqs := newPlanner(&s, s.Seed+1).plan(len(sched))
+	sem := make(chan struct{}, s.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+	for i, at := range sched {
+		if wait := time.Until(start.Add(at)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				wg.Wait()
+				return ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// The fleet is slower than the schedule: block (and say so).
+			atomic.AddInt64(stalled, 1)
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				wg.Wait()
+				return ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(req request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := execute(ctx, clients[req.target], req, anchors)
+			rec.record(req.op.Kind, time.Since(t0), err)
+		}(reqs[i])
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runClosed runs Workers synchronous callers with think time — the
+// classic benchmark loop, useful for saturating a fleet without
+// modeling arrivals.
+func (r *Runner) runClosed(ctx context.Context, s Scenario, clients []*peer.Client,
+	rec *recorder, anchors *anchorTable) error {
+	deadline := time.Now().Add(s.Duration.D())
+	var wg sync.WaitGroup
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct per-worker streams; 7919 keeps seeds apart without
+			// correlating low bits across workers.
+			pl := newPlanner(&s, s.Seed+int64(w)*7919+2)
+			think := s.Think.D()
+			jitter := rand.New(rand.NewSource(s.Seed + int64(w)))
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				req := pl.next()
+				t0 := time.Now()
+				err := execute(ctx, clients[req.target], req, anchors)
+				rec.record(req.op.Kind, time.Since(t0), err)
+				if think > 0 {
+					// ±25% jitter de-synchronizes the worker herd.
+					d := think + time.Duration((jitter.Float64()-0.5)*0.5*float64(think))
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// execute performs one planned request through the typed client.
+func execute(ctx context.Context, cl *peer.Client, req request, anchors *anchorTable) error {
+	switch req.op.Kind {
+	case OpDoc:
+		_, err := cl.Doc(ctx, req.doc)
+		return err
+	case OpDelta:
+		d, err := cl.Delta(ctx, req.doc, anchors.get(req.target, req.doc))
+		if err == nil {
+			anchors.put(req.target, req.doc, d.To)
+		}
+		return err
+	case OpInvoke:
+		_, err := cl.Invoke(ctx, peer.Envelope{Service: req.op.Service})
+		return err
+	case OpHashes:
+		_, err := cl.Hashes(ctx)
+		return err
+	case OpPush:
+		// A tiny forest keyed by the sampled doc name: repeats reduce
+		// away on the subscriber, so sustained push load grows the
+		// target document by the hot-set size, not the request count.
+		f := tree.Forest{tree.NewLabel("load").Add(tree.NewValue(req.doc))}
+		return cl.Push(ctx, req.op.PushID, f)
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %q", req.op.Kind)
+	}
+}
+
+// scrape flattens every configured server-side metric source.
+func (r *Runner) scrape(ctx context.Context, httpc *http.Client) (map[string]float64, []string) {
+	out := map[string]float64{}
+	var errs []string
+	for i, reg := range r.Registries {
+		for k, v := range obs.FlattenSnapshot(reg) {
+			out[fmt.Sprintf("peer%d.%s", i, k)] = v
+		}
+	}
+	for i, u := range r.VarsURLs {
+		vars, err := ScrapeVars(ctx, httpc, u)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("vars%d (%s): %v", i, u, err))
+			continue
+		}
+		for k, v := range vars {
+			out[fmt.Sprintf("vars%d.%s", i, k)] = v
+		}
+	}
+	return out, errs
+}
+
+// ScrapeVars fetches and flattens one /debug/vars endpoint.
+func ScrapeVars(ctx context.Context, httpc *http.Client, url string) (map[string]float64, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseVars(body)
+}
+
+// ServerKeys returns the sorted keys of a server diff matching a
+// substring — report helpers use it to pull the interesting counters
+// (peer.http.requests, engine.calls) out of the full diff.
+func ServerKeys(server map[string]float64, contains string) []string {
+	var keys []string
+	for k := range server {
+		if contains == "" || strings.Contains(k, contains) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

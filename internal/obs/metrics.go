@@ -213,6 +213,12 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile returns the upper bound of the power-of-two bucket containing
+// the q-th observation (0 < q <= 1) — coarse (within 2x) but monotone,
+// like the P50/P90/P99 fields. The load generator uses it for the tail
+// quantiles the fixed fields do not carry (p99.9 against SLOs).
+func (s HistSnapshot) Quantile(q float64) int64 { return s.quantile(q) }
+
 // quantile returns the upper bound of the bucket containing the q-th
 // observation (0 < q <= 1).
 func (s *HistSnapshot) quantile(q float64) int64 {

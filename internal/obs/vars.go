@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Snapshot diffing: the load generator (and any capacity harness)
+// scrapes a peer's metrics before and after a run and wants the
+// server-side activity attributable to that window — requests served,
+// bytes moved, calls fired. Counters diff by subtraction; point-in-time
+// members (gauges are not distinguishable on the wire, histogram
+// min/max/quantiles are not additive) keep their "after" value. The
+// helpers work on a flattened name -> number view shared by both
+// sources: a scraped /debug/vars body (ParseVars) and an in-process
+// *Registry (FlattenSnapshot), so correlation code does not care which
+// side of the HTTP boundary the registry lived on.
+
+// pointInTimeSuffixes marks flattened members that are not monotone
+// accumulations; DiffVars reports their after-value unchanged.
+var pointInTimeSuffixes = []string{".min", ".max", ".p50", ".p90", ".p99", ".mean"}
+
+func isPointInTime(name string) bool {
+	for _, s := range pointInTimeSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseVars extracts a flattened metric map from a JSON metrics dump:
+// either a full /debug/vars response (the registry is then taken from
+// its "axml" member; ambient expvars like cmdline and memstats are
+// ignored) or a bare Registry JSON rendering. Counters and gauges map
+// name -> value; each histogram contributes name.count, name.sum,
+// name.min, name.max, name.p50, name.p90 and name.p99.
+func ParseVars(data []byte) (map[string]float64, error) {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("obs: parse vars: %w", err)
+	}
+	if raw, ok := top["axml"]; ok {
+		// A /debug/vars body: the registry lives under "axml".
+		top = nil
+		if err := json.Unmarshal(raw, &top); err != nil {
+			return nil, fmt.Errorf("obs: parse vars: axml member: %w", err)
+		}
+	}
+	out := make(map[string]float64, len(top))
+	for name, raw := range top {
+		var num float64
+		if err := json.Unmarshal(raw, &num); err == nil {
+			out[name] = num
+			continue
+		}
+		var hist map[string]float64
+		if err := json.Unmarshal(raw, &hist); err == nil {
+			for k, v := range hist {
+				out[name+"."+k] = v
+			}
+		}
+		// Anything else (strings, arrays, deeper nesting) is not one of
+		// this registry's metric shapes — skip it.
+	}
+	return out, nil
+}
+
+// FlattenSnapshot renders a registry's current state in the same
+// flattened shape ParseVars produces, for diffing in-process registries
+// without a round trip through JSON. Nil-safe like the rest of the
+// package.
+func FlattenSnapshot(r *Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range r.Snapshot() {
+		switch v := v.(type) {
+		case int64:
+			out[name] = float64(v)
+		case HistSnapshot:
+			out[name+".count"] = float64(v.Count)
+			out[name+".sum"] = float64(v.Sum)
+			out[name+".min"] = float64(v.Min)
+			out[name+".max"] = float64(v.Max)
+			out[name+".p50"] = float64(v.P50)
+			out[name+".p90"] = float64(v.P90)
+			out[name+".p99"] = float64(v.P99)
+		}
+	}
+	return out
+}
+
+// DiffVars subtracts a before-snapshot from an after-snapshot: monotone
+// members (counters, histogram counts and sums) become the delta over
+// the window, point-in-time members (min/max/quantiles) keep the after
+// value, and members absent from before diff against zero. Keys only in
+// before are dropped — a metric that stopped being exported has no
+// meaningful window value.
+func DiffVars(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for name, a := range after {
+		if isPointInTime(name) {
+			out[name] = a
+			continue
+		}
+		out[name] = a - before[name]
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// The flattened view of a scraped /debug/vars body and of the live
+// registry must agree: correlation code diffs across the HTTP boundary.
+func TestParseVarsMatchesFlattenSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("peer.http.requests.doc").Add(7)
+	r.Gauge("engine.pool").Set(3)
+	for _, v := range []int64{100, 200, 400, 800} {
+		r.Histogram("peer.http.latency_ns.doc").Observe(v)
+	}
+
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	for {
+		m, err := resp.Body.Read(body[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+
+	scraped, err := ParseVars(body[:n])
+	if err != nil {
+		t.Fatalf("ParseVars: %v", err)
+	}
+	local := FlattenSnapshot(r)
+	for name, want := range local {
+		if got, ok := scraped[name]; !ok || got != want {
+			t.Errorf("scraped[%s] = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+	if scraped["peer.http.requests.doc"] != 7 {
+		t.Errorf("counter = %v, want 7", scraped["peer.http.requests.doc"])
+	}
+	if scraped["peer.http.latency_ns.doc.count"] != 4 {
+		t.Errorf("hist count = %v, want 4", scraped["peer.http.latency_ns.doc.count"])
+	}
+	// Ambient expvars (cmdline, memstats) must not leak into the map.
+	for name := range scraped {
+		if name == "cmdline" || name == "memstats" {
+			t.Errorf("ambient expvar %q leaked into parsed vars", name)
+		}
+	}
+}
+
+// ParseVars also accepts a bare Registry JSON rendering (no "axml"
+// wrapper) — what an embedder publishing the registry directly serves.
+func TestParseVarsBareRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("peer.served").Add(42)
+	m, err := ParseVars([]byte(r.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["peer.served"] != 42 {
+		t.Fatalf("peer.served = %v, want 42", m["peer.served"])
+	}
+}
+
+func TestDiffVars(t *testing.T) {
+	before := map[string]float64{
+		"peer.served":  10,
+		"lat_ns.count": 5,
+		"lat_ns.sum":   500,
+		"lat_ns.p99":   64,
+		"gone.metric":  3,
+		"lat_ns.max":   90,
+	}
+	after := map[string]float64{
+		"peer.served":  25,
+		"lat_ns.count": 9,
+		"lat_ns.sum":   1700,
+		"lat_ns.p99":   128,
+		"lat_ns.max":   130,
+		"fresh.metric": 6,
+	}
+	d := DiffVars(before, after)
+	for name, want := range map[string]float64{
+		"peer.served":  15,   // counter: delta
+		"lat_ns.count": 4,    // histogram count: delta
+		"lat_ns.sum":   1200, // histogram sum: delta
+		"lat_ns.p99":   128,  // quantile: after value
+		"lat_ns.max":   130,  // max: after value
+		"fresh.metric": 6,    // absent before: diff against zero
+	} {
+		if d[name] != want {
+			t.Errorf("diff[%s] = %v, want %v", name, d[name], want)
+		}
+	}
+	if _, ok := d["gone.metric"]; ok {
+		t.Error("metric only in before survived the diff")
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // bucket upper bound 128
+	}
+	h.Observe(100000) // the single tail outlier, bucket upper bound 131072
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != 128 {
+		t.Errorf("Quantile(0.50) = %d, want 128", got)
+	}
+	if got := s.Quantile(0.999); got != 128 {
+		t.Errorf("Quantile(0.999) = %d, want 128", got)
+	}
+	if got := s.Quantile(1.0); got != 131072 {
+		t.Errorf("Quantile(1.0) = %d, want 131072", got)
+	}
+	if s.Quantile(0.999) != s.quantile(0.999) {
+		t.Error("exported Quantile disagrees with internal quantile")
+	}
+}

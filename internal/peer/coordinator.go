@@ -2,9 +2,8 @@ package peer
 
 import (
 	"context"
-	"fmt"
-	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 )
@@ -37,15 +36,26 @@ type FixpointResult struct {
 	Terminated bool
 }
 
+// clients builds one typed Client per peer URL, sharing the
+// coordinator's transport.
+func (c *Coordinator) clients() []*Client {
+	httpc := c.Client
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	out := make([]*Client, len(c.URLs))
+	for i, u := range c.URLs {
+		out[i] = NewClient(u, httpc)
+	}
+	return out
+}
+
 // RunToFixpoint repeatedly asks every peer for one local sweep, until a
 // full round reports no change anywhere (confirmed by state digests), the
 // round budget runs out, or ctx is cancelled (the error is then the
 // context's).
 func (c *Coordinator) RunToFixpoint(ctx context.Context) (FixpointResult, error) {
-	client := c.Client
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
-	}
+	clients := c.clients()
 	maxRounds := c.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = DefaultMaxRounds
@@ -58,14 +68,14 @@ func (c *Coordinator) RunToFixpoint(ctx context.Context) (FixpointResult, error)
 		}
 		res.Rounds++
 		anyChanged := false
-		for _, u := range c.URLs {
-			changed, err := sweepOnce(ctx, client, u)
+		for _, cl := range clients {
+			changed, err := cl.Sweep(ctx)
 			if err != nil {
 				return res, err
 			}
 			anyChanged = anyChanged || changed
 		}
-		digest, err := c.globalDigest(ctx, client)
+		digest, err := globalDigest(ctx, clients)
 		if err != nil {
 			return res, err
 		}
@@ -78,47 +88,29 @@ func (c *Coordinator) RunToFixpoint(ctx context.Context) (FixpointResult, error)
 	return res, nil
 }
 
-func sweepOnce(ctx context.Context, client *http.Client, baseURL string) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+PathSweep,
-		strings.NewReader(""))
-	if err != nil {
-		return false, err
-	}
-	req.Header.Set("Content-Type", "text/plain")
-	resp, err := client.Do(req)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if err != nil {
-		return false, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("peer: sweep %s: %s: %s", baseURL, resp.Status, string(body))
-	}
-	return strings.TrimSpace(string(body)) == "changed", nil
-}
-
-func (c *Coordinator) globalDigest(ctx context.Context, client *http.Client) (string, error) {
+// globalDigest concatenates every peer's per-document digests in a
+// canonical order — equal strings across rounds mean no state moved
+// anywhere.
+func globalDigest(ctx context.Context, clients []*Client) (string, error) {
 	var b strings.Builder
-	for _, u := range c.URLs {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+PathHash, nil)
+	for _, cl := range clients {
+		hashes, err := cl.Hashes(ctx)
 		if err != nil {
 			return "", err
 		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return "", err
+		names := make([]string, 0, len(hashes))
+		for name := range hashes {
+			names = append(names, name)
 		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
-		if err != nil {
-			return "", err
-		}
-		b.WriteString(u)
+		sort.Strings(names)
+		b.WriteString(cl.BaseURL)
 		b.WriteByte('@')
-		b.Write(body)
+		for _, name := range names {
+			b.WriteString(name)
+			b.WriteByte('=')
+			b.WriteString(hashes[name])
+			b.WriteByte(';')
+		}
 		b.WriteByte('\n')
 	}
 	return b.String(), nil

@@ -4,11 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 
 	"time"
 
@@ -42,7 +40,7 @@ const recDocState byte = 1
 // Durability configures a durable peer.
 type Durability struct {
 	// Dir is the data directory (created if missing). Empty disables
-	// durability — NewDurable then behaves exactly like New.
+	// durability — Open then builds a plain in-memory peer.
 	Dir string
 	// SnapshotEvery compacts the journal into a snapshot after that many
 	// appended records; 0 means DefaultSnapshotEvery, negative disables
@@ -60,7 +58,7 @@ type Durability struct {
 // Durability.SnapshotEvery is zero.
 const DefaultSnapshotEvery = 64
 
-// RecoveryInfo reports what NewDurable found on disk.
+// RecoveryInfo reports what Open (with WithDurability) found on disk.
 type RecoveryInfo struct {
 	// SnapshotSeq is the journal sequence the loaded snapshot covered
 	// (0: no snapshot).
@@ -83,16 +81,6 @@ type store struct {
 	snapshotEvery int
 	sinceSnapshot int
 	err           error // first journaling failure; journaling stops after
-}
-
-// NewDurable wraps a system as a peer backed by a write-ahead journal in
-// d.Dir, first recovering any state a previous incarnation persisted
-// there.
-//
-// Deprecated: use Open(name, s, WithDurability(d)), which composes with
-// the other options.
-func NewDurable(name string, s *core.System, d Durability) (*Peer, RecoveryInfo, error) {
-	return Open(name, s, WithDurability(d))
 }
 
 // openStore recovers the snapshot and journal found in d.Dir into the
@@ -333,7 +321,7 @@ func (p *Peer) AntiEntropy(ctx context.Context) (resynced int, err error) {
 		if client == nil {
 			client = p.client // the peer's outbound client (WithClient)
 		}
-		hashes, herr := FetchHashes(ctx, client, m.Remote)
+		hashes, herr := (&Client{BaseURL: m.Remote, HTTP: client, MaxWire: p.maxWire}).Hashes(ctx)
 		if herr != nil {
 			p.metrics.Counter("peer.antientropy.errors").Inc()
 			if err == nil {
@@ -365,41 +353,4 @@ func (p *Peer) AntiEntropy(ctx context.Context) (resynced int, err error) {
 func docDigest(n *tree.Node) string {
 	h := n.CanonicalHash()
 	return fmt.Sprintf("%x", h[:8])
-}
-
-// FetchHashes pulls a peer's document digests ("name=digest;..." from
-// PathHash) as a map. A nil client means the shared DefaultClient.
-// Cancel via ctx.
-func FetchHashes(ctx context.Context, client *http.Client, baseURL string) (map[string]string, error) {
-	if client == nil {
-		client = DefaultClient
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathHash, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("peer: hash %s: %s", baseURL, resp.Status)
-	}
-	out := make(map[string]string)
-	for _, entry := range strings.Split(string(body), ";") {
-		if entry == "" {
-			continue
-		}
-		name, digest, ok := strings.Cut(entry, "=")
-		if !ok {
-			return nil, fmt.Errorf("peer: hash %s: malformed entry %q", baseURL, entry)
-		}
-		out[name] = digest
-	}
-	return out, nil
 }

@@ -27,7 +27,7 @@ func Annotate = mark{$x} :- input/input{$x}
 func newDurablePeer(t *testing.T, dir string, d Durability) (*Peer, RecoveryInfo) {
 	t.Helper()
 	d.Dir = dir
-	p, info, err := NewDurable("durable", core.MustParseSystem(durableSeed), d)
+	p, info, err := Open("durable", core.MustParseSystem(durableSeed), WithDurability(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestDurableCorruptSnapshotRefusesStart(t *testing.T) {
 	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = NewDurable("durable", core.MustParseSystem(durableSeed), Durability{Dir: dir})
+	_, _, err = Open("durable", core.MustParseSystem(durableSeed), WithDurability(Durability{Dir: dir}))
 	if !errors.Is(err, journal.ErrCorruptSnapshot) {
 		t.Fatalf("corrupt snapshot: %v", err)
 	}
@@ -302,10 +302,10 @@ doc replica = db
 
 		dir := t.TempDir()
 		crash := &faults.CrashWriter{CrashAt: crashAt, Partial: 11}
-		p1, _, err := NewDurable("portal", buildPortal(srv.URL), Durability{
+		p1, _, err := Open("portal", buildPortal(srv.URL), WithDurability(Durability{
 			Dir:        dir,
 			WrapWriter: func(w io.Writer) io.Writer { crash.W = w; return crash },
-		})
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,7 +337,7 @@ doc replica = db
 
 		// Restart from disk: recover, re-register the mirror, run
 		// anti-entropy to re-pull the moved replica, sweep to fixpoint.
-		p2, info, err := NewDurable("portal", buildPortal(srv.URL), Durability{Dir: dir})
+		p2, info, err := Open("portal", buildPortal(srv.URL), WithDurability(Durability{Dir: dir}))
 		if err != nil {
 			t.Fatalf("crashAt=%d: restart: %v", crashAt, err)
 		}
@@ -403,10 +403,10 @@ func TestAntiEntropySkipsCurrentReplicas(t *testing.T) {
 // degrades to volatile and keeps converging.
 func TestJournalFailureDegradesToVolatile(t *testing.T) {
 	crash := &faults.CrashWriter{CrashAt: 1, Partial: 0}
-	p, _, err := NewDurable("fragile", core.MustParseSystem(durableSeed), Durability{
+	p, _, err := Open("fragile", core.MustParseSystem(durableSeed), WithDurability(Durability{
 		Dir:        t.TempDir(),
 		WrapWriter: func(w io.Writer) io.Writer { crash.W = w; return crash },
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,11 @@ type Mirror struct {
 	lastRemote string
 }
 
+// client is the typed view of the mirror's remote endpoint.
+func (m *Mirror) client() *Client {
+	return &Client{BaseURL: m.Remote, HTTP: m.Client}
+}
+
 // Sync synchronizes the replica once and reports whether it grew. It
 // requests a delta since the last acknowledged remote digest; the answer
 // is either nothing (already current), a digest-anchored patch applied
@@ -57,7 +62,7 @@ type Mirror struct {
 // sync_ns) and emit a "sync" span when the peer carries a tracer.
 func (m *Mirror) Sync(ctx context.Context, p *Peer) (changed bool, err error) {
 	start := time.Now()
-	d, err := FetchDelta(ctx, m.Client, m.Remote, m.RemoteDoc, m.lastRemote)
+	d, err := m.client().Delta(ctx, m.RemoteDoc, m.lastRemote)
 	if err != nil {
 		p.metrics.Counter("peer.mirror.errors").Inc()
 		return false, err
@@ -95,7 +100,7 @@ func (m *Mirror) Sync(ctx context.Context, p *Peer) (changed bool, err error) {
 		})
 		if err == nil && !applied {
 			p.metrics.Counter("peer.mirror.delta_fallbacks").Inc()
-			d, err = FetchDelta(ctx, m.Client, m.Remote, m.RemoteDoc, "")
+			d, err = m.client().Delta(ctx, m.RemoteDoc, "")
 			if err == nil {
 				if d.Full == nil {
 					err = fmt.Errorf("peer: mirror %s: anchorless delta answered mode %q",

@@ -1,14 +1,12 @@
 package peer
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
-	"net/url"
 	"sync"
 	"time"
 
@@ -481,36 +479,6 @@ func (p *Peer) handleDelta(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// FetchDelta asks a peer what changed in a document since the anchor
-// digest from (empty means no anchor — expect a full answer). The
-// transport is bounded like every other wire read; cancel via ctx.
-func FetchDelta(ctx context.Context, client *http.Client, baseURL, name, from string) (Delta, error) {
-	if client == nil {
-		client = DefaultClient
-	}
-	u := baseURL + PathDelta + name
-	if from != "" {
-		u += "?from=" + url.QueryEscape(from)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return Delta{}, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return Delta{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return Delta{}, fmt.Errorf("peer: delta %s: %s", name, resp.Status)
-	}
-	body, err := readAllLimited(resp.Body, 0)
-	if err != nil {
-		return Delta{}, fmt.Errorf("peer: delta %s: %w", name, err)
-	}
-	return UnmarshalDelta(body)
-}
-
 // RemoteService is a core.Service whose implementation lives on another
 // peer: Invoke marshals input and context into an envelope, POSTs it and
 // decodes the returned forest. The remote peer evaluates against its own
@@ -547,10 +515,7 @@ func (r *RemoteService) ServiceName() string { return r.Name }
 // middleware's deadline, a dropped upstream client) tears down the
 // connection to a hung peer instead of waiting out the client timeout.
 func (r *RemoteService) Invoke(ctx context.Context, b core.Binding) (tree.Forest, error) {
-	client := r.Client
-	if client == nil {
-		client = DefaultClient
-	}
+	c := &Client{BaseURL: r.URL, HTTP: r.Client, MaxWire: r.MaxBytes}
 	svc := r.Service
 	if svc == "" {
 		svc = r.Name
@@ -560,60 +525,9 @@ func (r *RemoteService) Invoke(ctx context.Context, b core.Binding) (tree.Forest
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.URL+PathInvoke,
-		bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
-	}
-	req.Header.Set("Content-Type", "application/xml")
 	if r.Gate != nil {
 		r.Gate.Unlock()
 		defer r.Gate.Lock() // re-acquire before the engine resumes
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		if cause := ctx.Err(); cause != nil && !errors.Is(err, cause) {
-			// url.Error wraps the transport's view of the teardown; report
-			// the cancellation itself so callers can match it.
-			err = fmt.Errorf("%w (%v)", cause, err)
-		}
-		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		// Error bodies carry a short message; read a bounded prefix.
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return nil, fmt.Errorf("peer: remote %s: %s: %s", svc, resp.Status, string(msg))
-	}
-	body, err := readAllLimited(resp.Body, r.MaxBytes)
-	if err != nil {
-		return nil, fmt.Errorf("peer: remote %s: %w", svc, err)
-	}
-	return UnmarshalForest(body)
-}
-
-// FetchDoc pulls a document from a peer. A nil client means the shared
-// DefaultClient. Bodies over MaxWireBytes fail with ErrResponseTooLarge.
-// Cancel via ctx.
-func FetchDoc(ctx context.Context, client *http.Client, baseURL, name string) (*tree.Node, error) {
-	if client == nil {
-		client = DefaultClient
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathDoc+name, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("peer: fetch %s: %s", name, resp.Status)
-	}
-	body, err := readAllLimited(resp.Body, 0)
-	if err != nil {
-		return nil, fmt.Errorf("peer: fetch %s: %w", name, err)
-	}
-	return UnmarshalTree(body)
+	return c.invoke(ctx, svc, data)
 }

@@ -19,10 +19,17 @@
 # bytes_per_op and allocs_per_op, plus each variant's speedup relative
 # to the "full" re-pull variant of the same operation.
 #
+# With -load the input is `axml-loadgen -fleet N -bench` output: one
+# record per LOADGEN workload/variant line, carrying ns_per_op (mean
+# request latency, or 1e9/achieved_rps for the capacity leaf) and every
+# other key=value field on the line (p50_ns, p99_ns, p999_ns, rps,
+# sent, errors, max_rps).
+#
 # Usage:
 #   go test -bench BenchmarkRunParallel ... | scripts/bench-json.sh
 #   go test -bench 'BenchmarkTree$' -benchmem ... | scripts/bench-json.sh -tree
 #   go test -bench 'BenchmarkFleet$' -benchmem ... | scripts/bench-json.sh -fleet
+#   go run ./cmd/axml-loadgen -fleet 3 -bench | scripts/bench-json.sh -load
 set -eu
 
 mode=parallel
@@ -32,6 +39,45 @@ if [ "${1-}" = "-tree" ]; then
 elif [ "${1-}" = "-fleet" ]; then
     mode=fleet
     shift
+elif [ "${1-}" = "-load" ]; then
+    mode=load
+    shift
+fi
+
+if [ "$mode" = load ]; then
+    awk '
+    /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+    /^LOADGEN / && NF >= 3 {
+        split($2, part, "/")               # workload / variant
+        wl = part[1]; v = part[2]
+        for (f = 3; f <= NF; f++) {
+            split($f, kv, "=")
+            if (kv[1] == "ns_per_op") ns[wl, v] = kv[2] + 0
+            else ex[wl, v] = ex[wl, v] sprintf(", \"%s\": %g", kv[1], kv[2] + 0)
+        }
+        if (!(wl in seen)) { order[++n] = wl; seen[wl] = 1 }
+        if (!((wl, v) in vseen)) { vars[wl] = vars[wl] " " v; vseen[wl, v] = 1 }
+    }
+    END {
+        printf "{\n"
+        printf "  \"benchmark\": \"axml-loadgen\",\n"
+        printf "  \"date\": \"%s\",\n", strftime("%Y-%m-%d")
+        printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"workloads\": {\n"
+        for (i = 1; i <= n; i++) {
+            wl = order[i]
+            printf "    \"%s\": {\n", wl
+            m = split(substr(vars[wl], 2), vv, " ")
+            for (j = 1; j <= m; j++) {
+                v = vv[j]
+                printf "      \"%s\": {\"ns_per_op\": %.0f%s}%s\n", \
+                    v, ns[wl, v], ex[wl, v], (j < m ? "," : "")
+            }
+            printf "    }%s\n", (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }'
+    exit $?
 fi
 
 if [ "$mode" = fleet ]; then
