@@ -47,10 +47,13 @@ fuzz-smoke:
 # The sharded-fleet chaos acceptance: ten durable peers, consistent-hash
 # routing, delta replication under injected message loss, crash-restarts,
 # stale anchors and duplicated deliveries must converge every owner to
-# the single-peer fixpoint digest, and one increment's delta must stay a
-# small constant on the wire while a full pull grows with the document.
+# the single-peer fixpoint digest (with non-zero peer.converge.lag_ns
+# samples and a rendering fleet status table), one increment's delta must
+# stay a small constant on the wire while a full pull grows with the
+# document, and a cross-peer invoke→push cascade must stitch into one
+# connected trace.
 chaos:
-	$(GO) test ./internal/peer -run 'TestFleetChaosConvergence|TestDeltaWireBytesSublinear' -count=1 -v
+	$(GO) test ./internal/peer -run 'TestFleetChaosConvergence|TestDeltaWireBytesSublinear|TestFleetCrossPeerTraceConnected' -count=1 -v
 
 # The parallel-engine speedup benchmark: raw output lands in bench.out
 # (benchstat-compatible, see bench-compare), the JSON trajectory point

@@ -211,21 +211,15 @@ func main() {
 			"peer", *name, "dir", *dataDir, "snapshot_seq", rec.SnapshotSeq,
 			"replayed", rec.Replayed, "torn", rec.Torn)
 	}
-	if *debugAddr != "" {
-		// The debug server gets its own listener on purpose: pprof and
-		// the metric dump expose internals that do not belong on the
-		// peer's public port.
-		go func() {
-			logger.Info("debug server", "peer", *name, "addr", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(metrics)); err != nil {
-				logger.Error("debug server", "err", err)
-			}
-		}()
-	}
+	// Runtime telemetry: heap, GC pause and goroutine gauges join the
+	// peer's own counters in the registry (and thus /debug/vars).
+	stopRuntime := obs.StartRuntimeStats(metrics, 10*time.Second)
+	defer stopRuntime()
 	// Sharded mode: front the peer with a consistent-hash router. The
 	// fleet is the self name plus every -shard-peer binding; documents
 	// this peer does not own are forwarded to their owners.
 	var handler http.Handler = p.Handler()
+	checks := p.ReadyChecks()
 	if *shardSelf != "" {
 		names := []string{*shardSelf}
 		urls := make(map[string]string, len(shardPeers)+1)
@@ -241,8 +235,29 @@ func main() {
 		ring := peer.NewRing(names, 0)
 		handler = peer.NewRouter(p, *shardSelf, ring,
 			func(name string) string { return urls[name] }, *replicas)
+		// Readiness: every ring member this router could forward to must
+		// resolve to a URL, or owned documents silently lose replicas.
+		checks = append(checks, obs.Check{Name: "ring", Probe: func() error {
+			for _, n := range names {
+				if n != *shardSelf && urls[n] == "" {
+					return fmt.Errorf("ring member %q has no URL", n)
+				}
+			}
+			return nil
+		}})
 		logger.Info("sharded",
 			"peer", *shardSelf, "fleet", fmt.Sprint(names), "replicas", *replicas)
+	}
+	if *debugAddr != "" {
+		// The debug server gets its own listener on purpose: pprof and
+		// the metric dump expose internals that do not belong on the
+		// peer's public port. /healthz and /readyz live here too.
+		go func() {
+			logger.Info("debug server", "peer", *name, "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(metrics, checks...)); err != nil {
+				logger.Error("debug server", "err", err)
+			}
+		}()
 	}
 	logger.Info("serving",
 		"peer", *name, "system", *systemFile, "listen", *listen,

@@ -1,0 +1,118 @@
+// Command axml-status polls a fleet's /axml/status endpoints and prints
+// one convergence/lag/health table: per document per peer, the local and
+// last-observed origin digests, whether they agree, when replication
+// last advanced the replica, and the last measured replication lag.
+//
+//	axml-status -peer a=http://a.example:8080 -peer b=http://b.example:8080
+//
+// With -json the raw StatusReports are printed instead of the table.
+// The exit status is 0 when every peer answered and reported ready,
+// 1 when any peer was unreachable or not ready.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"axml/internal/peer"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Second, "per-peer request deadline")
+	asJSON := flag.Bool("json", false, "print raw JSON reports instead of the table")
+	var peers peerFlags
+	flag.Var(&peers, "peer", "fleet member NAME=URL, or just URL (repeatable)")
+	flag.Parse()
+	// Bare URLs on the command line work too: axml-status http://a:8080 ...
+	for _, arg := range flag.Args() {
+		if err := peers.Set(arg); err != nil {
+			fmt.Fprintln(os.Stderr, "axml-status:", err)
+			os.Exit(2)
+		}
+	}
+	if len(peers) == 0 {
+		fmt.Fprintln(os.Stderr, "axml-status: at least one -peer NAME=URL (or URL argument) is required")
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	httpc := &http.Client{Timeout: *timeout}
+
+	var (
+		mu      sync.Mutex
+		reports []peer.StatusReport
+		errs    = map[string]error{}
+		wg      sync.WaitGroup
+	)
+	for _, pf := range peers {
+		wg.Add(1)
+		go func(label, url string) {
+			defer wg.Done()
+			rep, err := peer.NewClient(url, httpc).Status(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[label] = err
+				return
+			}
+			reports = append(reports, rep)
+		}(pf.name, pf.url)
+	}
+	wg.Wait()
+
+	if *asJSON {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axml-status:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		for name, err := range errs {
+			fmt.Fprintf(os.Stderr, "axml-status: %s: %v\n", name, err)
+		}
+	} else {
+		fmt.Print(peer.FormatFleetStatus(reports, errs))
+	}
+
+	exit := 0
+	if len(errs) > 0 {
+		exit = 1
+	}
+	for _, rep := range reports {
+		if !rep.Ready {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// peerFlags parses repeated NAME=URL (or bare URL) bindings.
+type peerFlags []struct{ name, url string }
+
+func (p *peerFlags) String() string {
+	parts := make([]string, len(*p))
+	for i, b := range *p {
+		parts[i] = b.name + "=" + b.url
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *peerFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || strings.Contains(name, "://") {
+		name, url = v, v
+	}
+	if url == "" {
+		return fmt.Errorf("want NAME=URL or URL, got %q", v)
+	}
+	*p = append(*p, struct{ name, url string }{name, url})
+	return nil
+}

@@ -122,8 +122,17 @@ type (
 	// Tracer streams trace spans as JSON lines.
 	Tracer = obs.Tracer
 	// Span is one traced event (sweep, call, merge, sync, push, fsync,
-	// snapshot).
+	// snapshot, http), optionally carrying the causal trace/span/parent
+	// triplet.
 	Span = obs.Span
+	// SpanContext is a W3C-style trace/span identity pair, propagated
+	// across peers via the traceparent header.
+	SpanContext = obs.SpanContext
+	// HealthCheck is one named readiness probe for the /readyz endpoint.
+	HealthCheck = obs.Check
+	// PeerStatus is a peer's /axml/status report: readiness, runtime
+	// footprint and per-document convergence watermarks.
+	PeerStatus = peer.StatusReport
 )
 
 // Observability entry points.
@@ -133,12 +142,26 @@ var (
 	// NewTracer wraps a writer as a JSONL span tracer.
 	NewTracer = obs.NewTracer
 	// DebugMux serves a registry at /debug/vars plus live pprof under
-	// /debug/pprof/ (mount on a dedicated listener).
+	// /debug/pprof/, /healthz and /readyz over the given checks (mount
+	// on a dedicated listener).
 	DebugMux = obs.DebugMux
 	// ParseLogLevel maps "debug"/"info"/"warn"/"error" to a slog.Level.
 	ParseLogLevel = obs.ParseLevel
 	// NewLogger builds a text-handler slog.Logger at a level.
 	NewLogger = obs.NewLogger
+	// NewTrace starts a fresh trace root; thread it through contexts
+	// with SpanInContext so peer calls propagate it.
+	NewTrace = obs.NewTrace
+	// SpanInContext attaches a span context to a context.
+	SpanInContext = obs.ContextWithSpan
+	// SpanOutOfContext reads the span context riding a context.
+	SpanOutOfContext = obs.SpanFromContext
+	// StartRuntimeStats publishes heap/GC/goroutine gauges into a
+	// registry on a ticker; call the returned stop to end it.
+	StartRuntimeStats = obs.StartRuntimeStats
+	// FormatFleetStatus renders peer status reports as the operator's
+	// convergence/lag/health table (what cmd/axml-status prints).
+	FormatFleetStatus = peer.FormatFleetStatus
 )
 
 // Fault injection (testing the fault-tolerance layer without real flaky

@@ -53,6 +53,18 @@ type engine struct {
 	maxErrorSweeps int
 	tracer         *obs.Tracer
 
+	// root is the run's trace identity: the span context the caller put
+	// in the run's context (a peer's server span, a CLI root) or a fresh
+	// trace when tracing locally with none inherited. Set once before any
+	// worker starts, then read-only — sweep spans are its children, call
+	// spans are sweep children, merge spans are call children, and the
+	// evaluation context carries the call's span so a remote invocation
+	// propagates the chain across the wire.
+	root obs.SpanContext
+	// drainSC is the event-driven run's single drain span (incremental.go),
+	// fixed before the workers start.
+	drainSC obs.SpanContext
+
 	// Run-local latency histograms, always collected (RunResult.Stats).
 	evalH      *obs.Histogram
 	slotWaitH  *obs.Histogram
@@ -140,8 +152,20 @@ func newEngine(s *System, opts RunOptions) *engine {
 	}
 }
 
+// traceRoot resolves the run's root span context from ctx: the inherited
+// span when the caller is already traced, a fresh trace when this engine
+// traces locally, the zero context (IDs suppressed) otherwise.
+func (e *engine) traceRoot(ctx context.Context) obs.SpanContext {
+	sc := obs.SpanFromContext(ctx)
+	if !sc.Valid() && e.tracer.Enabled() {
+		sc = obs.NewTrace()
+	}
+	return sc
+}
+
 // run is the sweep loop shared by the sequential and parallel paths.
 func (e *engine) run(ctx context.Context) RunResult {
+	e.root = e.traceRoot(ctx)
 	fruitless := 0 // consecutive no-progress sweeps that saw errors
 	for {
 		if ctx.Err() != nil {
@@ -173,6 +197,10 @@ func (e *engine) run(ctx context.Context) RunResult {
 
 		sweepTS := e.tracer.Now()
 		sweepStart := time.Now()
+		var sweepSC obs.SpanContext
+		if e.tracer != nil {
+			sweepSC = e.root.NewChild()
+		}
 
 		// Each sweep gets a cancellable sub-context so a budget stop or a
 		// fail-fast error aborts the in-flight evaluations instead of
@@ -190,7 +218,7 @@ func (e *engine) run(ctx context.Context) RunResult {
 				if !ok {
 					continue
 				}
-				e.fire(sweepCtx, c, prev, nil, 0)
+				e.fire(sweepCtx, sweepSC, c, prev, nil, 0)
 			}
 		} else {
 			// sem caps concurrent EVALUATIONS, not whole firings: a worker
@@ -219,7 +247,7 @@ func (e *engine) run(ctx context.Context) RunResult {
 					var once sync.Once
 					release := func() { once.Do(func() { <-sem }) }
 					defer release()
-					e.fire(sweepCtx, c, prev, release, slotWait)
+					e.fire(sweepCtx, sweepSC, c, prev, release, slotWait)
 				}(c, prev, slotWait)
 			}
 			wg.Wait()
@@ -243,7 +271,7 @@ func (e *engine) run(ctx context.Context) RunResult {
 					"steps":    int64(e.stepsInSweep),
 					"failures": int64(failures),
 				},
-			})
+			}.WithContext(sweepSC, e.root))
 		}
 		sweeps := e.res.Sweeps
 		e.mu.Unlock()
@@ -403,8 +431,11 @@ func (e *engine) admit(c Call) (prev []uint64, ok bool) {
 // evaluation is over — the expensive, capacity-limited phase — so the
 // pool can start the next evaluation while this result waits its turn
 // at the funnel. slotWait is how long the call queued for its pool slot
-// (zero on the sequential path), reported on the call span.
-func (e *engine) fire(ctx context.Context, c Call, prev []uint64, release func(), slotWait time.Duration) {
+// (zero on the sequential path), reported on the call span. parent is
+// the enclosing sweep's (or drain's) span context; the call span is its
+// child and the evaluation context carries the call span, so a remote
+// service invocation continues the trace on the other peer.
+func (e *engine) fire(ctx context.Context, parent obs.SpanContext, c Call, prev []uint64, release func(), slotWait time.Duration) {
 	s := e.s
 	var since map[string]uint64
 	if e.opts.Incremental {
@@ -413,6 +444,11 @@ func (e *engine) fire(ctx context.Context, c Call, prev []uint64, release func()
 			e.deltaEvals++
 			e.mu.Unlock()
 		}
+	}
+	var callSC obs.SpanContext
+	if e.tracer != nil {
+		callSC = parent.NewChild()
+		ctx = obs.ContextWithSpan(ctx, callSC)
 	}
 	callTS := e.tracer.Now()
 	evalStart := time.Now()
@@ -431,7 +467,7 @@ func (e *engine) fire(ctx context.Context, c Call, prev []uint64, release func()
 			TSUs:  callTS,
 			DurUs: int64(evalDur / time.Microsecond),
 			Attrs: map[string]int64{"wait_us": int64(slotWait / time.Microsecond)},
-		}
+		}.WithContext(callSC, parent)
 		if err != nil {
 			span.Err = err.Error()
 		}
@@ -480,7 +516,7 @@ func (e *engine) fire(ctx context.Context, c Call, prev []uint64, release func()
 				"wait_us": int64(mergeWait / time.Microsecond),
 				"step":    int64(step),
 			},
-		})
+		}.WithContext(callSC.NewChild(), callSC))
 	}
 	if e.opts.MaxNodes > 0 && s.Size() > e.opts.MaxNodes {
 		e.mu.Lock()

@@ -162,6 +162,12 @@ func (e *engine) runEventDriven(ctx context.Context) RunResult {
 	ev := newEventState(e.s)
 	ev.cond = sync.NewCond(&e.mu)
 	e.ev = ev
+	// One drain = the whole run; it plays the sweep's role in the trace
+	// tree. Both IDs are fixed before any worker starts, then read-only.
+	e.root = e.traceRoot(ctx)
+	if e.tracer != nil {
+		e.drainSC = e.root.NewChild()
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -232,7 +238,7 @@ func (e *engine) runEventDriven(ctx context.Context) RunResult {
 				"sterile":   int64(e.sterile),
 				"parked":    int64(len(ev.parked)),
 			},
-		})
+		}.WithContext(e.drainSC, e.root))
 	}
 	e.mu.Unlock()
 	return e.result()
@@ -343,6 +349,11 @@ func (e *engine) processEvent(ctx context.Context, c Call) {
 		e.mu.Unlock()
 	}
 
+	var callSC obs.SpanContext
+	if e.tracer != nil {
+		callSC = e.drainSC.NewChild()
+		ctx = obs.ContextWithSpan(ctx, callSC)
+	}
 	callTS := e.tracer.Now()
 	evalStart := time.Now()
 	s.engineMu.RLockFair()
@@ -356,7 +367,7 @@ func (e *engine) processEvent(ctx context.Context, c Call) {
 			Name:  c.Node.Name,
 			TSUs:  callTS,
 			DurUs: int64(evalDur / time.Microsecond),
-		}
+		}.WithContext(callSC, e.drainSC)
 		if err != nil {
 			span.Err = err.Error()
 		}
@@ -410,7 +421,7 @@ func (e *engine) processEvent(ctx context.Context, c Call) {
 				"wait_us": int64(mergeWait / time.Microsecond),
 				"step":    int64(step),
 			},
-		})
+		}.WithContext(callSC.NewChild(), callSC))
 	}
 	if e.opts.MaxNodes > 0 && s.Size() > e.opts.MaxNodes {
 		e.mu.Lock()

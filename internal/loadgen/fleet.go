@@ -108,7 +108,10 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 
 		mux := http.NewServeMux()
 		mux.Handle(peer.PathPush, sub.Handler())
-		mux.Handle("/debug/", obs.DebugMux(reg))
+		dbg := obs.DebugMux(reg, p.ReadyChecks()...)
+		mux.Handle("/debug/", dbg)
+		mux.Handle("/healthz", dbg)
+		mux.Handle("/readyz", dbg)
 		mux.Handle("/", p.Handler())
 
 		ln, err := net.Listen("tcp", "127.0.0.1:0")

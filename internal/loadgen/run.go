@@ -335,8 +335,12 @@ func (r *Runner) runClosed(ctx context.Context, s Scenario, clients []*peer.Clie
 	return ctx.Err()
 }
 
-// execute performs one planned request through the typed client.
+// execute performs one planned request through the typed client. Every
+// request starts a fresh trace root, so server-side spans (http, sweep,
+// call, push, sync) stitch into per-request exemplar traces even though
+// the harness itself never emits spans.
 func execute(ctx context.Context, cl *peer.Client, req request, anchors *anchorTable) error {
+	ctx = obs.ContextWithSpan(ctx, obs.NewTrace())
 	switch req.op.Kind {
 	case OpDoc:
 		_, err := cl.Doc(ctx, req.doc)

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthz(t *testing.T) {
+	mux := DebugMux(NewRegistry())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("body %q, want ok", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/healthz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", rec.Code)
+	}
+}
+
+func TestReadyzChecks(t *testing.T) {
+	journalErr := error(nil)
+	mux := DebugMux(NewRegistry(),
+		Check{Name: "journal", Probe: func() error { return journalErr }},
+		Check{Name: "ring", Probe: func() error { return nil }},
+		Check{Name: "unwired"}, // nil probe passes
+	)
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec
+	}
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Fatalf("all passing: /readyz = %d, body %q", rec.Code, rec.Body.String())
+	}
+	journalErr = errors.New("disk full")
+	rec := get()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failing check: /readyz = %d, want 503", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "fail journal: disk full") {
+		t.Errorf("body %q missing failing check line", body)
+	}
+	if !strings.Contains(body, "ok ring") {
+		t.Errorf("body %q missing passing check line", body)
+	}
+	journalErr = nil
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Errorf("recovered check: /readyz = %d, want 200", rec.Code)
+	}
+}
+
+func TestReadyzNoChecks(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DebugMux(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/readyz with no checks = %d, want 200", rec.Code)
+	}
+}
+
+func TestRegistryGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("obs.trace.dropped", func() int64 { return v })
+	if got := r.Snapshot()["obs.trace.dropped"]; got != int64(7) {
+		t.Fatalf("snapshot gauge func = %v, want 7", got)
+	}
+	v = 9
+	if got := r.Snapshot()["obs.trace.dropped"]; got != int64(9) {
+		t.Errorf("snapshot gauge func = %v, want live value 9", got)
+	}
+	// Re-registration replaces; nil registry and nil fn no-op.
+	r.GaugeFunc("obs.trace.dropped", func() int64 { return 1 })
+	if got := r.Snapshot()["obs.trace.dropped"]; got != int64(1) {
+		t.Errorf("re-registered gauge func = %v, want 1", got)
+	}
+	r.GaugeFunc("nil.fn", nil)
+	if _, ok := r.Snapshot()["nil.fn"]; ok {
+		t.Error("nil fn registered")
+	}
+	var nilReg *Registry
+	nilReg.GaugeFunc("x", func() int64 { return 1 })
+}
+
+func TestStartRuntimeStats(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeStats(r, time.Hour) // immediate collect, then idle
+	defer stop()
+	snap := r.Snapshot()
+	if g, ok := snap["runtime.goroutines"].(int64); !ok || g < 1 {
+		t.Errorf("runtime.goroutines = %v, want >= 1", snap["runtime.goroutines"])
+	}
+	if h, ok := snap["runtime.heap_alloc_bytes"].(int64); !ok || h <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %v, want > 0", snap["runtime.heap_alloc_bytes"])
+	}
+	stop()
+	stop() // idempotent
+	if s := StartRuntimeStats(nil, 0); s == nil {
+		t.Error("nil registry: want no-op stop func")
+	}
+}

@@ -26,6 +26,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	funcs  map[string]func() int64
 	start  time.Time
 }
 
@@ -35,6 +36,7 @@ func NewRegistry() *Registry {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		funcs:  make(map[string]func() int64),
 		start:  time.Now(),
 	}
 }
@@ -99,15 +101,31 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot returns every metric's current value: int64 for counters and
-// gauges, HistSnapshot for histograms. Keys are the metric names.
+// GaugeFunc registers a gauge whose value is computed at snapshot time
+// by fn — for state that already lives elsewhere (tracer drop counts,
+// convergence watermarks) and should not be mirrored into a *Gauge on
+// every change. Re-registering a name replaces the previous function.
+// fn must be safe for concurrent calls and must not call back into this
+// registry's Snapshot/String. Nil-safe: a nil registry or fn no-ops.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot returns every metric's current value: int64 for counters,
+// gauges and gauge functions, HistSnapshot for histograms. Keys are the
+// metric names.
 func (r *Registry) Snapshot() map[string]any {
 	out := make(map[string]any)
 	if r == nil {
 		return out
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	fns := make(map[string]func() int64, len(r.funcs))
 	for name, c := range r.counts {
 		out[name] = c.Value()
 	}
@@ -116,6 +134,15 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	for name, h := range r.hists {
 		out[name] = h.Snapshot()
+	}
+	for name, fn := range r.funcs {
+		fns[name] = fn
+	}
+	r.mu.RUnlock()
+	// Evaluate outside the lock: a gauge function may take its own locks
+	// (peer state, runtime stats) and must not nest under the registry's.
+	for name, fn := range fns {
+		out[name] = fn()
 	}
 	return out
 }
@@ -173,11 +200,14 @@ func (r *Registry) varsHandler(w http.ResponseWriter, req *http.Request) {
 }
 
 // DebugMux builds the opt-in debug server: expvar-compatible JSON at
-// /debug/vars (ambient expvars plus this registry under "axml") and the
-// live pprof profiles under /debug/pprof/. Mount it on its own listener
+// /debug/vars (ambient expvars plus this registry under "axml"), the
+// live pprof profiles under /debug/pprof/, and the health surface —
+// /healthz (process liveness, always 200 once the listener is up) and
+// /readyz (200 only while every readiness check passes; 503 with one
+// line per failing check otherwise). Mount it on its own listener
 // (-debug-addr); the profiles expose internals that do not belong on
 // the peer's public port.
-func DebugMux(r *Registry) *http.ServeMux {
+func DebugMux(r *Registry, checks ...Check) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", r.varsHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -185,5 +215,7 @@ func DebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/healthz", HealthHandler())
+	mux.Handle("/readyz", ReadyHandler(checks...))
 	return mux
 }

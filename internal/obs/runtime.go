@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime collector: publishes process health the engine metrics can't
+// see — heap pressure, GC pauses, goroutine population — into the same
+// registry, so one /debug/vars scrape correlates workload counters with
+// the runtime they ran on.
+//
+// Gauges (point-in-time):
+//
+//	runtime.goroutines       runtime.NumGoroutine()
+//	runtime.heap_alloc_bytes live heap bytes (MemStats.HeapAlloc)
+//	runtime.heap_sys_bytes   heap bytes held from the OS (MemStats.HeapSys)
+//	runtime.gc.num           completed GC cycles since process start
+//
+// Histogram:
+//
+//	runtime.gc.pause_ns      one observation per completed GC cycle's
+//	                         stop-the-world pause, drained from the
+//	                         MemStats.PauseNs ring each interval
+//
+// ReadMemStats stops the world briefly, so the collector samples on an
+// interval (default 10s) rather than per scrape.
+
+// StartRuntimeStats begins periodic collection into r and returns a stop
+// function (idempotent, waits for the collector goroutine to exit). An
+// every <= 0 uses the 10s default. One immediate collection runs before
+// returning so the gauges exist as soon as the registry is served.
+// Nil-safe: a nil registry returns a no-op stop.
+func StartRuntimeStats(r *Registry, every time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	c := &runtimeCollector{r: r}
+	c.collect()
+	done := make(chan struct{})
+	quit := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				c.collect()
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(quit)
+		<-done
+	}
+}
+
+type runtimeCollector struct {
+	r      *Registry
+	lastGC uint32 // NumGC at the previous collect, for pause-ring draining
+}
+
+func (c *runtimeCollector) collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.r.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	c.r.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	c.r.Gauge("runtime.heap_sys_bytes").Set(int64(ms.HeapSys))
+	c.r.Gauge("runtime.gc.num").Set(int64(ms.NumGC))
+	// PauseNs is a ring of the last 256 pauses indexed by cycle number;
+	// observe only cycles completed since the previous collect, capped at
+	// the ring size when the interval saw more than 256 GCs.
+	newGCs := ms.NumGC - c.lastGC
+	if newGCs > uint32(len(ms.PauseNs)) {
+		newGCs = uint32(len(ms.PauseNs))
+	}
+	h := c.r.Histogram("runtime.gc.pause_ns")
+	for i := uint32(0); i < newGCs; i++ {
+		cycle := ms.NumGC - i
+		h.Observe(int64(ms.PauseNs[(cycle+255)%256]))
+	}
+	c.lastGC = ms.NumGC
+}

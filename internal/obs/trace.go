@@ -24,14 +24,38 @@ import (
 //	push    one push-mode delivery    (name = subscription id; attrs: trees)
 //	fsync   one journal fsync batch   (attrs: records)
 //	snapshot one snapshot compaction  (attrs: bytes)
+//	http    one served peer endpoint request (name = endpoint; attrs: status)
+//
+// Schema v2 adds the causal identity triplet: Trace groups every span a
+// single logical write produced anywhere in the fleet (W3C trace ID, 32
+// hex chars), Span names this span (16 hex chars) and Parent names the
+// span that caused it — empty for a trace root. Spans emitted by
+// uninstrumented paths simply omit all three; v1 consumers that ignore
+// unknown fields keep working.
 type Span struct {
-	Kind  string           `json:"kind"`
-	Name  string           `json:"name,omitempty"`
-	Sweep int              `json:"sweep,omitempty"`
-	TSUs  int64            `json:"ts_us"`
-	DurUs int64            `json:"dur_us"`
-	Err   string           `json:"err,omitempty"`
-	Attrs map[string]int64 `json:"attrs,omitempty"`
+	Kind   string           `json:"kind"`
+	Name   string           `json:"name,omitempty"`
+	Trace  string           `json:"trace,omitempty"`
+	Span   string           `json:"span,omitempty"`
+	Parent string           `json:"parent,omitempty"`
+	Sweep  int              `json:"sweep,omitempty"`
+	TSUs   int64            `json:"ts_us"`
+	DurUs  int64            `json:"dur_us"`
+	Err    string           `json:"err,omitempty"`
+	Attrs  map[string]int64 `json:"attrs,omitempty"`
+}
+
+// WithContext stamps the span's causal identity from a child context and
+// its parent: s.Trace/s.Span come from sc, s.Parent from parent.Span when
+// the parent is valid. Returns s for call-site chaining.
+func (s Span) WithContext(sc, parent SpanContext) Span {
+	if sc.Valid() {
+		s.Trace, s.Span = sc.Trace, sc.Span
+	}
+	if parent.Valid() {
+		s.Parent = parent.Span
+	}
+	return s
 }
 
 // Tracer serializes spans to a writer, one JSON object per line —

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"strings"
+)
+
+// Causal trace identity. A SpanContext names one span inside one trace
+// using the W3C Trace Context shapes (16-byte trace ID, 8-byte span ID,
+// lowercase hex), so the same identity travels in-process via
+// context.Context and across peers via the `traceparent` HTTP header.
+// The zero SpanContext means "not traced" and every operation on it is
+// a no-op, mirroring the package's nil-safe metric contract.
+
+// TraceparentHeader is the W3C Trace Context propagation header carried
+// on every outbound peer.Client request and parsed by every handler.
+const TraceparentHeader = "traceparent"
+
+// SpanContext identifies one span within one trace. Trace is 32 hex
+// chars (16 bytes), Span is 16 hex chars (8 bytes), both lowercase.
+type SpanContext struct {
+	Trace string
+	Span  string
+}
+
+// Valid reports whether the context carries usable (non-zero) IDs.
+func (sc SpanContext) Valid() bool {
+	return len(sc.Trace) == 32 && len(sc.Span) == 16 &&
+		sc.Trace != "00000000000000000000000000000000" &&
+		sc.Span != "0000000000000000"
+}
+
+// randUint64 draws from math/rand/v2's process-wide generator: lock-free
+// per-goroutine chacha streams seeded from the OS, cheap enough to mint
+// an ID per request on the load-generator hot path.
+func randUint64() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+func hex64(v uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace mints a root span in a fresh trace.
+func NewTrace() SpanContext {
+	return SpanContext{Trace: hex64(randUint64()) + hex64(randUint64()), Span: hex64(randUint64())}
+}
+
+// NewChild mints a span in the same trace with a fresh span ID. The
+// caller records sc.Span as the child's parent when emitting. A child
+// of an invalid context is a fresh root trace, so instrumentation can
+// derive unconditionally.
+func (sc SpanContext) NewChild() SpanContext {
+	if !sc.Valid() {
+		return NewTrace()
+	}
+	return SpanContext{Trace: sc.Trace, Span: hex64(randUint64())}
+}
+
+// Traceparent renders the context in W3C form
+// (00-<trace-id>-<span-id>-01, always sampled); empty for an invalid
+// context so callers can set the header unconditionally.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.Trace + "-" + sc.Span + "-01"
+}
+
+// ParseTraceparent decodes a W3C traceparent header value. Unknown
+// versions are accepted as long as the version-0 prefix fields parse
+// (per the spec's forward-compatibility rule); malformed or all-zero
+// IDs report ok=false.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	if parts[0] == "ff" || !isLowerHex(parts[0]) || !isLowerHex(parts[1]) || !isLowerHex(parts[2]) {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{Trace: parts[1], Span: parts[2]}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc; an invalid sc returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the span context carried by ctx, or the zero
+// SpanContext when none is attached.
+func SpanFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// LogArgs returns slog key/value pairs for the trace identity —
+// appendable to any log call so log lines and spans join on trace ID.
+// Empty for an invalid context.
+func (sc SpanContext) LogArgs() []any {
+	if !sc.Valid() {
+		return nil
+	}
+	return []any{"trace", sc.Trace, "span", sc.Span}
+}

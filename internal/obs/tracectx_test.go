@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceShape(t *testing.T) {
+	sc := NewTrace()
+	if !sc.Valid() {
+		t.Fatalf("NewTrace() = %+v, not valid", sc)
+	}
+	if len(sc.Trace) != 32 || !isLowerHex(sc.Trace) {
+		t.Errorf("trace id %q: want 32 lowercase hex chars", sc.Trace)
+	}
+	if len(sc.Span) != 16 || !isLowerHex(sc.Span) {
+		t.Errorf("span id %q: want 16 lowercase hex chars", sc.Span)
+	}
+	if other := NewTrace(); other.Trace == sc.Trace {
+		t.Error("two NewTrace calls produced the same trace id")
+	}
+}
+
+func TestNewChildKeepsTrace(t *testing.T) {
+	root := NewTrace()
+	child := root.NewChild()
+	if child.Trace != root.Trace {
+		t.Errorf("child trace %q, want parent's %q", child.Trace, root.Trace)
+	}
+	if child.Span == root.Span {
+		t.Error("child reused the parent's span id")
+	}
+	// A child of the zero context roots a fresh trace so instrumentation
+	// can derive unconditionally.
+	orphan := SpanContext{}.NewChild()
+	if !orphan.Valid() {
+		t.Errorf("child of zero context = %+v, want a fresh valid root", orphan)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewTrace()
+	h := sc.Traceparent()
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own rendering", h)
+	}
+	if got != sc {
+		t.Errorf("round trip = %+v, want %+v", got, sc)
+	}
+	if (SpanContext{}).Traceparent() != "" {
+		t.Error("zero context rendered a non-empty traceparent")
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"not-a-header",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase hex
+		"00-4bf92f3577b34da6-00f067aa0ba902b7-01",                 // short trace
+	} {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejection", h)
+		}
+	}
+	// Future versions with extra fields still parse (spec forward compat).
+	if sc, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok || sc.Trace != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("future-version header rejected: %+v ok=%v", sc, ok)
+	}
+}
+
+func TestSpanContextThroughContext(t *testing.T) {
+	if sc := SpanFromContext(context.Background()); sc.Valid() {
+		t.Errorf("empty context carried %+v", sc)
+	}
+	root := NewTrace()
+	ctx := ContextWithSpan(context.Background(), root)
+	if got := SpanFromContext(ctx); got != root {
+		t.Errorf("SpanFromContext = %+v, want %+v", got, root)
+	}
+	// Attaching an invalid context is a no-op, not an overwrite.
+	if got := SpanFromContext(ContextWithSpan(ctx, SpanContext{})); got != root {
+		t.Errorf("invalid attach overwrote: %+v", got)
+	}
+	if sc := SpanFromContext(nil); sc.Valid() { //nolint:staticcheck // nil-safety contract
+		t.Errorf("nil context carried %+v", sc)
+	}
+}
+
+func TestSpanWithContext(t *testing.T) {
+	parent := NewTrace()
+	child := parent.NewChild()
+	s := Span{Kind: "call", Name: "Q"}.WithContext(child, parent)
+	if s.Trace != child.Trace || s.Span != child.Span || s.Parent != parent.Span {
+		t.Errorf("WithContext = %+v", s)
+	}
+	// Root spans have no parent field.
+	r := Span{Kind: "sweep"}.WithContext(parent, SpanContext{})
+	if r.Parent != "" {
+		t.Errorf("root span got parent %q", r.Parent)
+	}
+}

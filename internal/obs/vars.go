@@ -96,6 +96,11 @@ func FlattenSnapshot(r *Registry) map[string]float64 {
 // value, and members absent from before diff against zero. Keys only in
 // before are dropped — a metric that stopped being exported has no
 // meaningful window value.
+//
+// A monotone member that went backwards means the server restarted
+// inside the window (its counters restarted from zero); the after-value
+// is then the activity since restart and is reported as the delta —
+// an undercount of the window, never a negative.
 func DiffVars(before, after map[string]float64) map[string]float64 {
 	out := make(map[string]float64, len(after))
 	for name, a := range after {
@@ -103,7 +108,11 @@ func DiffVars(before, after map[string]float64) map[string]float64 {
 			out[name] = a
 			continue
 		}
-		out[name] = a - before[name]
+		d := a - before[name]
+		if d < 0 {
+			d = a
+		}
+		out[name] = d
 	}
 	return out
 }

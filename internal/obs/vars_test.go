@@ -105,6 +105,43 @@ func TestDiffVars(t *testing.T) {
 	}
 }
 
+// A server restart mid-window resets its counters to zero; the diff must
+// report the post-restart activity, never a negative delta (which would
+// corrupt loadgen correlation reports).
+func TestDiffVarsCounterReset(t *testing.T) {
+	before := map[string]float64{
+		"peer.served":         1000,
+		"peer.http.bytes_out": 50000,
+		"lat_ns.count":        400,
+		"lat_ns.max":          90, // point-in-time: after value even when lower
+		"steady.counter":      7,
+	}
+	after := map[string]float64{
+		"peer.served":         42, // restarted: 42 requests since restart
+		"peer.http.bytes_out": 0,  // restarted, nothing served yet
+		"lat_ns.count":        13,
+		"lat_ns.max":          50,
+		"steady.counter":      9,
+	}
+	d := DiffVars(before, after)
+	for name, want := range map[string]float64{
+		"peer.served":         42,
+		"peer.http.bytes_out": 0,
+		"lat_ns.count":        13,
+		"lat_ns.max":          50,
+		"steady.counter":      2,
+	} {
+		if d[name] != want {
+			t.Errorf("diff[%s] = %v, want %v", name, d[name], want)
+		}
+	}
+	for name, v := range d {
+		if v < 0 {
+			t.Errorf("diff[%s] = %v: negative delta across a counter reset", name, v)
+		}
+	}
+}
+
 func TestHistSnapshotQuantile(t *testing.T) {
 	var h Histogram
 	for i := 0; i < 1000; i++ {

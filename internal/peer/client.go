@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strings"
 
+	"axml/internal/obs"
 	"axml/internal/tree"
 )
 
@@ -48,6 +49,22 @@ func (c *Client) httpc() *http.Client {
 	return DefaultClient
 }
 
+// newRequest builds one outbound request, stamping the W3C traceparent
+// header from the span context riding ctx (none attached → no header).
+// Every Client method funnels through here — outbound trace propagation
+// has exactly one choke point, which is why scripts/lint-obs.sh bans
+// bare http.Get/http.Post in internal/ code.
+func newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if tp := obs.SpanFromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
+	return req, nil
+}
+
 // do issues req and returns the response, mapping transport errors that
 // were really a context cancellation back to the context's error so
 // callers can match it.
@@ -65,7 +82,7 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 // Doc pulls a document's current state. Bodies over the client's wire
 // cap fail with ErrResponseTooLarge. Cancel via ctx.
 func (c *Client) Doc(ctx context.Context, name string) (*tree.Node, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathDoc+name, nil)
+	req, err := newRequest(ctx, http.MethodGet, c.BaseURL+PathDoc+name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +109,7 @@ func (c *Client) Delta(ctx context.Context, name, from string) (Delta, error) {
 	if from != "" {
 		u += "?from=" + url.QueryEscape(from)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := newRequest(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return Delta{}, err
 	}
@@ -114,7 +131,7 @@ func (c *Client) Delta(ctx context.Context, name, from string) (Delta, error) {
 // Hashes pulls the peer's per-document digests ("name=digest;..." from
 // PathHash) as a map — the anti-entropy probe.
 func (c *Client) Hashes(ctx context.Context) (map[string]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathHash, nil)
+	req, err := newRequest(ctx, http.MethodGet, c.BaseURL+PathHash, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +177,7 @@ func (c *Client) Invoke(ctx context.Context, env Envelope) (tree.Forest, error) 
 // while still holding its gate and release the gate only around this
 // network round trip.
 func (c *Client) invoke(ctx context.Context, service string, data []byte) (tree.Forest, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathInvoke,
+	req, err := newRequest(ctx, http.MethodPost, c.BaseURL+PathInvoke,
 		bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("peer: remote %s: %w", service, err)
@@ -186,7 +203,7 @@ func (c *Client) invoke(ctx context.Context, service string, data []byte) (tree.
 // Sweep asks the peer for one fair local sweep and reports whether it
 // changed anything — the coordinator's per-round probe.
 func (c *Client) Sweep(ctx context.Context) (changed bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathSweep,
+	req, err := newRequest(ctx, http.MethodPost, c.BaseURL+PathSweep,
 		strings.NewReader(""))
 	if err != nil {
 		return false, err
@@ -217,7 +234,7 @@ func (c *Client) Push(ctx context.Context, id string, f tree.Forest) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+PathPush+id,
+	req, err := newRequest(ctx, http.MethodPost, c.BaseURL+PathPush+id,
 		bytes.NewReader(data))
 	if err != nil {
 		return err

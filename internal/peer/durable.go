@@ -310,6 +310,11 @@ func (p *Peer) AntiEntropy(ctx context.Context) (resynced int, err error) {
 	mirrors := append([]*Mirror(nil), p.mirrors...)
 	p.mirrorMu.Unlock()
 	p.metrics.Counter("peer.antientropy.runs").Inc()
+	// One trace per pass: the hash probes and repair syncs of all mirrors
+	// stitch together (unless the caller already carries a span).
+	if !obs.SpanFromContext(ctx).Valid() && p.tracer.Enabled() {
+		ctx = obs.ContextWithSpan(ctx, obs.NewTrace())
+	}
 	for _, m := range mirrors {
 		if cerr := ctx.Err(); cerr != nil {
 			if err == nil {
@@ -330,6 +335,17 @@ func (p *Peer) AntiEntropy(ctx context.Context) (resynced int, err error) {
 			continue
 		}
 		remote, ok := hashes[m.RemoteDoc]
+		if ok {
+			// The probe just observed the origin digest: record it so the
+			// lag clock starts at detection, not at the repair sync below.
+			var localDigest string
+			p.System(func(s *core.System) {
+				if doc := s.Document(m.LocalDoc); doc != nil {
+					localDigest = docDigest(doc.Root)
+				}
+			})
+			p.converge.observe(p.metrics, m.LocalDoc, remote, localDigest, false)
+		}
 		if ok && m.lastRemote != "" && remote == m.lastRemote {
 			continue // replica provably current
 		}
@@ -344,7 +360,9 @@ func (p *Peer) AntiEntropy(ctx context.Context) (resynced int, err error) {
 	}
 	p.metrics.Counter("peer.antientropy.resynced").Add(int64(resynced))
 	if resynced > 0 {
-		p.logger.Info("anti-entropy resynced mirrors", "peer", p.Name, "resynced", resynced)
+		p.logger.Info("anti-entropy resynced mirrors",
+			append([]any{"peer", p.Name, "resynced", resynced},
+				obs.SpanFromContext(ctx).LogArgs()...)...)
 	}
 	return resynced, err
 }

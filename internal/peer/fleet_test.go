@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -343,6 +344,29 @@ func TestFleetChaosConvergence(t *testing.T) {
 	}
 	if f.reg.Counter("peer.antientropy.errors").Value() == 0 {
 		t.Fatal("fault injection never bit an anti-entropy pass")
+	}
+
+	// Convergence telemetry saw the chaos: replication advanced local
+	// digests, and at least one divergence→convergence interval closed
+	// into the lag histogram (the anti-entropy probes open the lag clock
+	// when they observe a moved origin digest, the catching-up sync
+	// closes it).
+	if f.reg.Counter("peer.converge.advances").Value() == 0 {
+		t.Fatal("no replication advance was ever recorded")
+	}
+	if f.reg.Histogram("peer.converge.lag_ns").Snapshot().Count == 0 {
+		t.Fatal("no replication lag interval was ever measured")
+	}
+
+	// The operator surface renders: every peer's status report lands in
+	// one fleet table with the converged documents on it.
+	var reports []StatusReport
+	for _, name := range fleetNames(10) {
+		reports = append(reports, f.slots[name].peer.Status())
+	}
+	table := FormatFleetStatus(reports, nil)
+	if !strings.Contains(table, "PEER") || !strings.Contains(table, docs[0]) {
+		t.Fatalf("fleet status table did not render:\n%s", table)
 	}
 
 	// Every converged doc serves through any fleet member (forwarding),

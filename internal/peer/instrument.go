@@ -3,6 +3,8 @@ package peer
 import (
 	"net/http"
 	"time"
+
+	"axml/internal/obs"
 )
 
 // countingWriter records the status code and body bytes a handler writes,
@@ -35,16 +37,44 @@ func (cw *countingWriter) Write(b []byte) (int, error) {
 //
 // With no registry attached the original handler runs untouched — the
 // wrapper costs one nil check, so Handler can install it unconditionally.
+//
+// instrument is also the server half of trace propagation: an incoming
+// W3C traceparent header joins the caller's trace, a missing one starts
+// a fresh trace when this peer traces locally. The server span context
+// rides the request context — handlers pass r.Context() down (into the
+// engine, into outbound Client calls) and the whole cross-peer cascade
+// shares one trace ID. When the peer has a tracer, each request also
+// emits an "http" span (name = endpoint, attrs: status) as the child of
+// the caller's span.
 func (p *Peer) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		m := p.metrics
-		if m == nil {
+		m, tr := p.metrics, p.tracer
+		parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		var sc obs.SpanContext
+		if parent.Valid() || tr.Enabled() {
+			sc = parent.NewChild()
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
+		}
+		if m == nil && !tr.Enabled() {
 			h(w, r)
 			return
 		}
+		ts := tr.Now()
 		start := time.Now()
 		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
 		h(cw, r)
+		if tr.Enabled() {
+			tr.Emit(obs.Span{
+				Kind:  "http",
+				Name:  endpoint,
+				TSUs:  ts,
+				DurUs: int64(time.Since(start) / time.Microsecond),
+				Attrs: map[string]int64{"status": int64(cw.status)},
+			}.WithContext(sc, parent))
+		}
+		if m == nil {
+			return
+		}
 		m.Counter("peer.http.requests." + endpoint).Inc()
 		m.Histogram("peer.http.latency_ns." + endpoint).ObserveSince(start)
 		if r.ContentLength > 0 {

@@ -61,7 +61,16 @@ func (m *Mirror) client() *Client {
 // peer's registry (peer.mirror.syncs/changed/errors/deltas/fallbacks,
 // sync_ns) and emit a "sync" span when the peer carries a tracer.
 func (m *Mirror) Sync(ctx context.Context, p *Peer) (changed bool, err error) {
+	// The sync span parents the delta exchange: its context rides ctx so
+	// the remote's "http" span joins the same trace.
+	parent := obs.SpanFromContext(ctx)
+	var syncSC obs.SpanContext
+	if parent.Valid() || p.tracer.Enabled() {
+		syncSC = parent.NewChild()
+		ctx = obs.ContextWithSpan(ctx, syncSC)
+	}
 	start := time.Now()
+	startTS := p.tracer.Now()
 	d, err := m.client().Delta(ctx, m.RemoteDoc, m.lastRemote)
 	if err != nil {
 		p.metrics.Counter("peer.mirror.errors").Inc()
@@ -130,14 +139,23 @@ func (m *Mirror) Sync(ctx context.Context, p *Peer) (changed bool, err error) {
 	if changed {
 		p.metrics.Counter("peer.mirror.changed").Inc()
 	}
+	// Convergence watermark: the negotiated Delta.To is the origin digest
+	// this sync observed; compare it with the local digest it left behind.
+	var localDigest string
+	p.System(func(s *core.System) {
+		if doc := s.Document(m.LocalDoc); doc != nil {
+			localDigest = docDigest(doc.Root)
+		}
+	})
+	p.converge.observe(p.metrics, m.LocalDoc, d.To, localDigest, changed)
 	if tr := p.tracer; tr.Enabled() {
 		var grew int64
 		if changed {
 			grew = 1
 		}
-		tr.Emit(obs.Span{Kind: "sync", Name: m.LocalDoc, TSUs: tr.Now(),
+		tr.Emit(obs.Span{Kind: "sync", Name: m.LocalDoc, TSUs: startTS,
 			DurUs: time.Since(start).Microseconds(),
-			Attrs: map[string]int64{"changed": grew}})
+			Attrs: map[string]int64{"changed": grew}}.WithContext(syncSC, parent))
 	}
 	return changed, nil
 }

@@ -23,6 +23,7 @@ const (
 	PathSweep  = "/axml/sweep"
 	PathHash   = "/axml/hash"
 	PathDelta  = "/axml/delta/"
+	PathStatus = "/axml/status"
 )
 
 // DefaultClient is the HTTP client used whenever a Client field is nil.
@@ -107,6 +108,15 @@ type Peer struct {
 	// anchors caches recent document states by digest so PathDelta can
 	// answer with a patch instead of the full tree. Guarded by mu.
 	anchors *deltaAnchors
+
+	// converge tracks per-document replication watermarks (origin digest
+	// seen vs local digest reached) for the /axml/status surface and the
+	// peer.converge.* metrics. It has its own lock — never nested inside
+	// mu — so registry gauge functions can read it from any goroutine.
+	converge *convergence
+
+	// started anchors the uptime reported by /axml/status.
+	started time.Time
 }
 
 // Stats counts a peer's activity.
@@ -161,6 +171,25 @@ func Open(name string, s *core.System, opts ...Option) (*Peer, RecoveryInfo, err
 		metrics:     cfg.metrics,
 		tracer:      cfg.tracer,
 		logger:      obs.LoggerOr(cfg.logger),
+		converge:    newConvergence(),
+		started:     time.Now(),
+	}
+	if cfg.metrics != nil {
+		// Live watermark gauges, evaluated at snapshot time.
+		cfg.metrics.GaugeFunc("peer.converge.docs", p.converge.docsTracked)
+		cfg.metrics.GaugeFunc("peer.converge.behind", p.converge.docsBehind)
+		if cfg.tracer != nil {
+			// A silently failing or sampling tracer is itself an
+			// observability incident; surface both in the registry.
+			tr := cfg.tracer
+			cfg.metrics.GaugeFunc("obs.trace.dropped", tr.Dropped)
+			cfg.metrics.GaugeFunc("obs.trace.err", func() int64 {
+				if tr.Err() != nil {
+					return 1
+				}
+				return 0
+			})
+		}
 	}
 	switch {
 	case cfg.deltaAnchors < 0: // delta serving disabled
@@ -259,6 +288,7 @@ func (p *Peer) Handler() http.Handler {
 	mux.HandleFunc(PathSweep, p.instrument("sweep", p.handleSweep))
 	mux.HandleFunc(PathHash, p.instrument("hash", p.handleHash))
 	mux.HandleFunc(PathDelta, p.instrument("delta", p.handleDelta))
+	mux.HandleFunc(PathStatus, p.instrument("status", p.handleStatus))
 	return mux
 }
 
@@ -366,6 +396,14 @@ func (p *Peer) handleDoc(w http.ResponseWriter, r *http.Request) {
 // stay serialized. Under core.Degrade a failing call is quarantined and
 // the sweep continues; the error is still reported.
 func (p *Peer) Sweep() (bool, error) {
+	return p.SweepContext(context.Background())
+}
+
+// SweepContext is Sweep with a caller context: cancellation aborts the
+// in-flight evaluations, and a span context riding ctx (a coordinator's
+// root, an incoming request's server span) parents the sweep's trace so
+// cross-peer cascades stitch into one trace.
+func (p *Peer) SweepContext(ctx context.Context) (bool, error) {
 	p.sweepMu.Lock()
 	defer p.sweepMu.Unlock()
 	p.mu.Lock()
@@ -375,14 +413,15 @@ func (p *Peer) Sweep() (bool, error) {
 	// network round trip, a contract built on exactly one invocation being
 	// in flight at a time. Parallel firing within a peer sweep would have
 	// concurrent invocations unlocking/relocking the same gate.
-	res := p.system.Run(core.RunOptions{
+	res := p.system.RunContext(ctx, core.RunOptions{
 		MaxSweeps: 1, ErrorPolicy: p.ErrorPolicy, Parallelism: 1,
 		Metrics: p.metrics, Tracer: p.tracer,
 	})
 	p.stats.Steps += res.Steps
 	p.stats.Failures += res.Failures
-	p.logger.Debug("sweep", "peer", p.Name,
-		"steps", res.Steps, "attempts", res.Attempts, "failures", res.Failures)
+	p.logger.Debug("sweep", append([]any{"peer", p.Name,
+		"steps", res.Steps, "attempts", res.Attempts, "failures", res.Failures},
+		obs.SpanFromContext(ctx).LogArgs()...)...)
 	p.flushJournalLocked()
 	if res.Err != nil && (p.ErrorPolicy == core.FailFast || res.Steps == 0) {
 		return res.Steps > 0, res.Err
@@ -395,7 +434,7 @@ func (p *Peer) handleSweep(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	changed, err := p.Sweep()
+	changed, err := p.SweepContext(r.Context())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return

@@ -193,8 +193,17 @@ func (pb *Publisher) flushOne(ctx context.Context, client *http.Client, sub *sub
 	if err != nil {
 		return 0, err
 	}
+	// The push span parents the delivery: its context rides ctx into
+	// deliver, so the subscriber's "http" span joins the same trace.
+	parent := obs.SpanFromContext(ctx)
+	var pushSC obs.SpanContext
+	if parent.Valid() || pb.peer.tracer.Enabled() {
+		pushSC = parent.NewChild()
+		ctx = obs.ContextWithSpan(ctx, pushSC)
+	}
 	mode, anchor := "delta", sub.chain
 	start := time.Now()
+	startTS := pb.peer.tracer.Now()
 	retries := pb.Retries
 	if retries == 0 {
 		retries = DefaultPushRetries
@@ -233,9 +242,9 @@ func (pb *Publisher) flushOne(ctx context.Context, client *http.Client, sub *sub
 			sub.chain = ack
 			pb.peer.metrics.Counter("peer.push.pushed").Add(int64(len(fresh)))
 			if tr := pb.peer.tracer; tr.Enabled() {
-				tr.Emit(obs.Span{Kind: "push", Name: sub.id, TSUs: tr.Now(),
+				tr.Emit(obs.Span{Kind: "push", Name: sub.id, TSUs: startTS,
 					DurUs: time.Since(start).Microseconds(),
-					Attrs: map[string]int64{"trees": int64(len(fresh))}})
+					Attrs: map[string]int64{"trees": int64(len(fresh))}}.WithContext(pushSC, parent))
 			}
 			return len(fresh), nil
 		case status == http.StatusConflict && mode == "delta":
@@ -262,7 +271,7 @@ func (pb *Publisher) flushOne(ctx context.Context, client *http.Client, sub *sub
 // deliver POSTs one payload to the subscription callback.
 func (pb *Publisher) deliver(ctx context.Context, client *http.Client, sub *subscription,
 	mode, anchor, ack string, data []byte) (status int, body string, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	req, err := newRequest(ctx, http.MethodPost,
 		sub.callback+PathPush+sub.id, bytes.NewReader(data))
 	if err != nil {
 		return 0, "", err
@@ -353,11 +362,13 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	var beforeDigest, afterDigest string
 	sb.peer.System(func(s *core.System) {
 		doc := s.Document(target.doc)
 		if doc == nil {
 			return
 		}
+		beforeDigest = docDigest(doc.Root)
 		target.node.Children = append(target.node.Children, forest...)
 		// The raw append above bypasses the digest invalidation contract:
 		// clear the memoized digests and reduced flags before reducing, or
@@ -367,7 +378,15 @@ func (sb *Subscriber) handlePush(w http.ResponseWriter, r *http.Request) {
 		subsume.ReduceInPlace(doc.Root)
 		// Out-of-band growth: make the version gate see the pushed data.
 		s.Touch(target.doc)
+		afterDigest = docDigest(doc.Root)
 	})
+	// Convergence watermark: a push reveals no origin digest (the chain
+	// anchors payload history, not document state), but it does advance
+	// the local replica — record the movement.
+	if afterDigest != "" {
+		sb.peer.converge.observe(sb.peer.metrics, target.doc, "", afterDigest,
+			afterDigest != beforeDigest)
+	}
 	if mode != "" {
 		sb.mu.Lock()
 		sb.chains[id] = r.Header.Get(headerPushAck)

@@ -23,4 +23,20 @@ if [ -n "$bad" ]; then
     echo "$bad" >&2
     exit 1
 fi
+
+# Outbound HTTP from library code must go through a constructed request
+# (peer.Client / obs traceparent injection), never the package-level
+# http.Get / http.Post / http.PostForm helpers: those use the global
+# default client (no timeout) and silently drop the trace context, so a
+# call made through them falls out of every cross-peer trace.
+badhttp=$(grep -rn --include='*.go' -E 'http\.(Get|Post|PostForm|Head)\(' internal/ \
+    | grep -v '_test\.go:' \
+    | grep -vE ':[0-9]+:[[:space:]]*//' \
+    || true)
+
+if [ -n "$badhttp" ]; then
+    echo "vet-obs: package-level http helpers in library code (build the request and inject trace context; see peer.Client):" >&2
+    echo "$badhttp" >&2
+    exit 1
+fi
 echo "vet-obs: ok"

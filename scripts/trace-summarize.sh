@@ -4,9 +4,16 @@
 #
 # Prints per-kind span counts and total/mean durations, the slowest
 # services by total evaluation time, per-sweep progress (fired vs
-# sterile), and the span with the longest single duration. The spans are
-# flat one-line JSON objects, so field extraction is plain pattern
-# matching — no JSON tooling required.
+# sterile), and the span with the longest single duration. Spans that
+# carry trace context (schema v2: "trace"/"span"/"parent") are then
+# grouped by trace ID: the summary reports how many distinct traces the
+# file holds and, for the slowest few, the critical path — starting from
+# the trace's earliest root span (one whose parent the file never
+# recorded: the caller kept it, or sampling dropped it) and descending
+# at every step into the child that finished last.
+#
+# The spans are flat one-line JSON objects, so field extraction is plain
+# pattern matching — no JSON tooling required.
 #
 # Usage: scripts/trace-summarize.sh trace.jsonl   (or on stdin)
 set -eu
@@ -20,6 +27,7 @@ function field(re, skip,   v) {
     kind = field("\"kind\":\"[^\"]*", 8)
     name = field("\"name\":\"[^\"]*", 8)
     dur  = field("\"dur_us\":-?[0-9]+", 9) + 0
+    ts   = field("\"ts_us\":-?[0-9]+", 8) + 0
     if (kind == "") next
     spans++
     cnt[kind]++; tot[kind] += dur
@@ -33,6 +41,24 @@ function field(re, skip,   v) {
         sfired[sweeps]   = field("\"fired\":-?[0-9]+", 8) + 0
         ssterile[sweeps] = field("\"sterile\":-?[0-9]+", 10) + 0
     }
+    # Trace grouping (schema v2): index spans by ID, remember per-trace
+    # extent and the span that finished last (the critical-path leaf).
+    tr = field("\"trace\":\"[^\"]*", 9)
+    sp = field("\"span\":\"[^\"]*", 8)
+    if (tr != "" && sp != "") {
+        skind[sp] = kind; sname[sp] = name; sdur[sp] = dur
+        spar[sp] = field("\"parent\":\"[^\"]*", 10)
+        strace[sp] = tr; sts[sp] = ts; send[sp] = ts + dur
+        if (!(tr in tfirst) || ts < tfirst[tr]) tfirst[tr] = ts
+        if (!(tr in tlast) || send[sp] > tlast[tr]) tlast[tr] = send[sp]
+        if (!(tr in tspans)) traces[++ntr] = tr
+        tspans[tr]++
+    }
+}
+function label(sp,   l) {
+    l = skind[sp]
+    if (sname[sp] != "") l = l ":" sname[sp]
+    return sprintf("%s %.1fms", l, sdur[sp] / 1000)
 }
 END {
     if (spans == 0) { print "no spans"; exit 0 }
@@ -51,6 +77,48 @@ END {
         for (i = 1; i <= sweeps && i <= 16; i++) printf " %d/%d", sfired[i], ssterile[i]
         if (sweeps > 16) printf " ..."
         printf "\n"
+    }
+    if (ntr > 0) {
+        # Index the child that finished last under each recorded parent,
+        # and each trace-s earliest root (a span whose parent the file
+        # never recorded).
+        for (sp in skind) {
+            p = spar[sp]
+            if (p != "" && (p in skind)) {
+                if (!(p in down) || send[sp] > send[down[p]]) down[p] = sp
+            } else {
+                t = strace[sp]
+                if (!(t in troot) || sts[sp] < sts[troot[t]]) troot[t] = sp
+            }
+        }
+        printf "\ntraces: %d (%.1f spans/trace)\n", ntr, spans / ntr
+        # Top traces by wall extent, selection-sorted (ntr is small in
+        # practice; a trace file with millions of traces should be cut
+        # down before summarizing anyway).
+        shown = ntr < 5 ? ntr : 5
+        for (n = 1; n <= shown; n++) {
+            best = 0
+            for (i = 1; i <= ntr; i++) {
+                t = traces[i]
+                if (t in done) continue
+                w = tlast[t] - tfirst[t]
+                if (best == 0 || w > bestw) { best = i; bestw = w }
+            }
+            t = traces[best]; done[t] = 1
+            printf "  trace %s: %d spans, %.1fms wall\n", substr(t, 1, 16), tspans[t], bestw / 1000
+            # Critical path: descend from the root into the child that
+            # finished last at every level. A depth cap guards cycles in
+            # malformed input.
+            printf "    critical path:"
+            depth = 0
+            for (sp = troot[t]; sp != "" && depth < 32; sp = (sp in down) ? down[sp] : "") {
+                printf " %s%s", (depth > 0 ? "-> " : ""), label(sp)
+                depth++
+            }
+            if (spar[troot[t]] != "") printf "  (root kept by caller)"
+            printf "\n"
+        }
+        if (ntr > shown) printf "  ... %d more traces\n", ntr - shown
     }
     printf "\nslowest span (%.1f ms):\n%s\n", maxdur / 1000, maxline
 }' "$@"
